@@ -1,0 +1,217 @@
+// Command indexbench runs the index workload experiments (E5, E6, E8):
+// skip list and Bw-tree throughput across implementation variants
+// (single-word-CAS baseline, volatile MwCAS, persistent PMwCAS),
+// operation mixes, and key distributions, plus the reverse-scan
+// comparison the doubly-linked skip list exists for.
+//
+// Usage:
+//
+//	indexbench [-index skiplist|bwtree|both] [-threads n] [-ops n]
+//	           [-keys n] [-dist uniform|zipf] [-mix readheavy|updateheavy|...]
+//	           [-flushns n] [-reverse]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmwcas"
+	"pmwcas/internal/harness"
+)
+
+func main() {
+	index := flag.String("index", "both", "skiplist, bwtree, or both")
+	threads := flag.Int("threads", 4, "worker goroutines")
+	ops := flag.Int("ops", 20000, "operations per thread")
+	keys := flag.Uint64("keys", 1<<16, "key space size")
+	dist := flag.String("dist", "uniform", "uniform, zipf, or sequential")
+	mixName := flag.String("mix", "readheavy", "readonly, readheavy, updateheavy, insertdelete, scanheavy")
+	flushNS := flag.Int("flushns", 0, "simulated CLWB latency in ns")
+	reverse := flag.Bool("reverse", false, "run the reverse-scan comparison (E8)")
+	flag.Parse()
+
+	mix, ok := map[string]harness.Mix{
+		"readonly":     harness.ReadOnly,
+		"readheavy":    harness.ReadHeavy,
+		"updateheavy":  harness.UpdateHeavy,
+		"insertdelete": harness.InsertDelete,
+		"scanheavy":    harness.ScanHeavy,
+	}[*mixName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "indexbench: unknown mix %q\n", *mixName)
+		os.Exit(1)
+	}
+	d, ok := map[string]harness.Distribution{
+		"uniform":    harness.Uniform,
+		"zipf":       harness.Zipf,
+		"sequential": harness.Sequential,
+	}[*dist]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "indexbench: unknown distribution %q\n", *dist)
+		os.Exit(1)
+	}
+
+	w := harness.Workload{
+		Threads:  *threads,
+		OpsPer:   *ops,
+		KeySpace: *keys,
+		Dist:     d,
+		Mix:      mix,
+		Preload:  int(*keys / 2),
+	}
+	flush := time.Duration(*flushNS) * time.Nanosecond
+
+	if *reverse {
+		runReverse(w, flush)
+		return
+	}
+	if *index == "skiplist" || *index == "both" {
+		runSkipList(w, flush)
+	}
+	if *index == "bwtree" || *index == "both" {
+		runBwTree(w, flush)
+	}
+}
+
+// storeFor builds one store per variant run so variants never share a heap.
+func storeFor(mode pmwcas.Mode, flush time.Duration) *pmwcas.Store {
+	s, err := pmwcas.Create(pmwcas.Config{
+		Size:         256 << 20,
+		Mode:         mode,
+		Descriptors:  4096,
+		MaxHandles:   256,
+		FlushLatency: flush,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexbench:", err)
+		os.Exit(1)
+	}
+	return s
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexbench:", err)
+		os.Exit(1)
+	}
+	return v
+}
+
+func runSkipList(w harness.Workload, flush time.Duration) {
+	tbl := harness.NewTable(
+		fmt.Sprintf("E5: skip list — %d threads, %s, %s", w.Threads, w.Dist, mixLabel(w.Mix)),
+		"variant", "ops/s", "flushes/op", "overhead vs cas")
+	var baseline float64
+
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		cl := must(s.CASSkipList())
+		r := must(harness.Run(&harness.CASListFactory{List: cl, Label: "cas (volatile)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		baseline = r.OpsPerSec
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer, "-")
+	}
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		l := must(s.SkipList())
+		r := must(harness.Run(&harness.SkipListFactory{List: l, Label: "mwcas (volatile)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
+			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
+	}
+	{
+		s := storeFor(pmwcas.Persistent, flush)
+		l := must(s.SkipList())
+		r := must(harness.Run(&harness.SkipListFactory{List: l, Label: "pmwcas (persistent)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
+			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
+	}
+	tbl.Print(os.Stdout)
+}
+
+func runBwTree(w harness.Workload, flush time.Duration) {
+	tbl := harness.NewTable(
+		fmt.Sprintf("E6: Bw-tree — %d threads, %s, %s", w.Threads, w.Dist, mixLabel(w.Mix)),
+		"variant", "ops/s", "flushes/op", "overhead vs cas")
+	var baseline float64
+
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		t := must(s.BwTree(pmwcas.BwTreeOptions{SMO: pmwcas.SMOSingleCAS}))
+		r := must(harness.Run(&harness.BwTreeFactory{Tree: t, Label: "cas (volatile)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		baseline = r.OpsPerSec
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer, "-")
+	}
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		t := must(s.BwTree(pmwcas.BwTreeOptions{SMO: pmwcas.SMOPMwCAS}))
+		r := must(harness.Run(&harness.BwTreeFactory{Tree: t, Label: "mwcas (volatile)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
+			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
+	}
+	{
+		s := storeFor(pmwcas.Persistent, flush)
+		t := must(s.BwTree(pmwcas.BwTreeOptions{SMO: pmwcas.SMOPMwCAS}))
+		r := must(harness.Run(&harness.BwTreeFactory{Tree: t, Label: "pmwcas (persistent)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
+			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
+	}
+	tbl.Print(os.Stdout)
+}
+
+// runReverse measures E8: reverse scans on the doubly-linked list vs the
+// baseline's validate-and-repair prev traversal.
+func runReverse(w harness.Workload, flush time.Duration) {
+	const scanLen = 100
+	tbl := harness.NewTable(
+		fmt.Sprintf("E8: reverse scans (%d keys preloaded, %d-key ranges)", w.Preload, scanLen),
+		"variant", "scans/s")
+
+	type scanner interface {
+		harness.IndexOps
+	}
+	run := func(label string, ops scanner, rs harness.ReverseScanner) {
+		// Preload.
+		stride := w.KeySpace / uint64(w.Preload)
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < w.Preload; i++ {
+			ops.Insert((uint64(i)*stride)%w.KeySpace+1, uint64(i))
+		}
+		kg := harness.NewKeyGen(harness.Uniform, w.KeySpace-scanLen, 99)
+		start := time.Now()
+		n := w.Threads * w.OpsPer
+		for i := 0; i < n; i++ {
+			from := kg.Next()
+			rs.ScanReverse(from, from+scanLen, func(uint64, uint64) bool { return true })
+		}
+		tbl.Add(label, harness.Throughput(float64(n)/time.Since(start).Seconds()))
+	}
+
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		cl := must(s.CASSkipList())
+		f := &harness.CASListFactory{List: cl, Label: "cas"}
+		ops := f.NewOps(1)
+		run("cas singly-linked + fixup", ops, ops.(harness.ReverseScanner))
+	}
+	{
+		s := storeFor(pmwcas.Persistent, flush)
+		l := must(s.SkipList())
+		f := &harness.SkipListFactory{List: l, Label: "pmwcas"}
+		ops := f.NewOps(1)
+		run("pmwcas doubly-linked", ops, ops.(harness.ReverseScanner))
+	}
+	tbl.Print(os.Stdout)
+}
+
+func mixLabel(m harness.Mix) string {
+	return fmt.Sprintf("r%d/i%d/u%d/d%d/s%d", m.Reads, m.Inserts, m.Updates, m.Deletes, m.Scans)
+}

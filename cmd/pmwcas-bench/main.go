@@ -1,0 +1,95 @@
+// Command pmwcas-bench runs the PMwCAS microbenchmarks (experiments
+// E1-E4): multi-word CAS throughput, success rate, helping rate, and
+// flush counts across contention levels and word counts, for the
+// volatile MwCAS, PMwCAS, and the simulated-HTM comparator.
+//
+// Usage:
+//
+//	pmwcas-bench [-variant pmwcas|mwcas|htm|all] [-threads n] [-ops n]
+//	             [-array words] [-words perOp] [-flushns n] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmwcas/internal/harness"
+	"pmwcas/internal/htm"
+)
+
+func main() {
+	variant := flag.String("variant", "all", "pmwcas, mwcas, htm, or all")
+	threads := flag.Int("threads", 4, "worker goroutines")
+	ops := flag.Int("ops", 50000, "attempts per thread")
+	array := flag.Int("array", 100000, "shared array size in words (contention knob)")
+	words := flag.Int("words", 4, "words per MwCAS")
+	flushNS := flag.Int("flushns", 0, "simulated CLWB latency in ns")
+	spurious := flag.Float64("htm-spurious", 0.002, "HTM spurious abort probability")
+	sweep := flag.Bool("sweep", false, "sweep contention levels and word counts")
+	flag.Parse()
+
+	variants := []harness.MicroVariant{harness.VariantMwCAS, harness.VariantPMwCAS, harness.VariantHTM}
+	if *variant != "all" {
+		variants = []harness.MicroVariant{harness.MicroVariant(*variant)}
+	}
+
+	run := func(v harness.MicroVariant, arrayWords, wordsPer int) harness.MicroResult {
+		r, err := harness.RunMicro(harness.MicroConfig{
+			Variant:      v,
+			Threads:      *threads,
+			OpsPer:       *ops,
+			ArrayWords:   arrayWords,
+			WordsPerOp:   wordsPer,
+			FlushLatency: time.Duration(*flushNS) * time.Nanosecond,
+			HTM:          htm.Config{SpuriousAbortProb: *spurious},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcas-bench:", err)
+			os.Exit(1)
+		}
+		return r
+	}
+
+	if !*sweep {
+		tbl := harness.NewTable(
+			fmt.Sprintf("MwCAS microbenchmark — %d threads, %d-word ops, %d-word array",
+				*threads, *words, *array),
+			"variant", "ops/s", "success", "flushes/op", "helps/op")
+		for _, v := range variants {
+			r := run(v, *array, *words)
+			tbl.Add(string(v), harness.Throughput(r.OpsPerSec), r.SuccessRate, r.FlushesPer, r.HelpsPer)
+		}
+		tbl.Print(os.Stdout)
+		return
+	}
+
+	// E1/E2: contention sweep.
+	tbl := harness.NewTable("E1/E2: contention sweep (success rate)",
+		"array words", "mwcas", "pmwcas", "htm", "htm fallbacks")
+	for _, a := range []int{8, 64, 1024, 100000} {
+		row := []any{a}
+		var fallbacks uint64
+		for _, v := range []harness.MicroVariant{harness.VariantMwCAS, harness.VariantPMwCAS, harness.VariantHTM} {
+			r := run(v, a, *words)
+			row = append(row, r.SuccessRate)
+			if v == harness.VariantHTM {
+				fallbacks = r.HTMStats.Fallbacks
+			}
+		}
+		row = append(row, fallbacks)
+		tbl.Add(row...)
+	}
+	tbl.Print(os.Stdout)
+
+	// E3: word count sweep.
+	tbl = harness.NewTable("E3: words per descriptor (ops/s, low contention)",
+		"words", "mwcas", "pmwcas", "pmwcas flushes/op")
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		m := run(harness.VariantMwCAS, *array, w)
+		p := run(harness.VariantPMwCAS, *array, w)
+		tbl.Add(w, harness.Throughput(m.OpsPerSec), harness.Throughput(p.OpsPerSec), p.FlushesPer)
+	}
+	tbl.Print(os.Stdout)
+}

@@ -1,0 +1,59 @@
+// Command recovery-bench measures post-crash recovery time (experiment
+// E7): a single scan of the descriptor pool, rolling in-flight PMwCAS
+// operations forward or back. The paper's claim is that recovery work is
+// bounded by the descriptor pool (a small multiple of the thread count),
+// not by the data size — this tool shows recovery time as a function of
+// both pool size and the number of operations that were actually in
+// flight at the crash.
+//
+// Usage:
+//
+//	recovery-bench [-pools 1024,4096,16384] [-words 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmwcas/internal/harness"
+)
+
+func main() {
+	pools := flag.String("pools", "1024,4096,16384", "descriptor pool sizes to sweep")
+	words := flag.Int("words", 4, "words per descriptor")
+	flag.Parse()
+
+	tbl := harness.NewTable("E7: recovery time vs pool size and in-flight operations",
+		"pool size", "in-flight", "recovery", "per descriptor", "all-or-nothing")
+	for _, ps := range strings.Split(*pools, ",") {
+		pool, err := strconv.Atoi(strings.TrimSpace(ps))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery-bench: bad pool size %q\n", ps)
+			os.Exit(1)
+		}
+		for _, frac := range []int{0, 4, 2, 1} { // 0, 1/4, 1/2, all in flight
+			inflight := 0
+			if frac > 0 {
+				inflight = pool / frac
+			}
+			r, err := harness.RunRecovery(harness.RecoveryBench{
+				PoolSize: pool,
+				InFlight: inflight,
+				Words:    *words,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "recovery-bench:", err)
+				os.Exit(1)
+			}
+			verdict := "OK"
+			if !r.CorrectOK {
+				verdict = "TORN STATE"
+			}
+			tbl.Add(pool, inflight, r.Elapsed, r.PerDesc, verdict)
+		}
+	}
+	tbl.Print(os.Stdout)
+}

@@ -1,0 +1,117 @@
+// crashrecovery: cut the power at a random instruction inside a Bw-tree
+// page split — the multi-page structure modification that makes lock-free
+// B+-trees hard — and watch recovery restore a consistent tree, many
+// times in a row.
+//
+// This is the paper's §2.3 claim made executable: "PMwCAS allows one to
+// transform a volatile data structure to a persistent one without
+// application-specific recovery code ... as long as the application's use
+// of PMwCAS transforms the data structure from one consistent state to
+// another."
+//
+// Run with:
+//
+//	go run ./examples/crashrecovery
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pmwcas"
+	"pmwcas/internal/nvram"
+)
+
+const trials = 25
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	rolledBack, rolledForward := 0, 0
+
+	for trial := 0; trial < trials; trial++ {
+		store, err := pmwcas.Create(pmwcas.Config{Size: 16 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := store.BwTree(pmwcas.BwTreeOptions{LeafCapacity: 16, ConsolidateAfter: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := tree.NewHandle()
+
+		// Fill a leaf to the brink: the next insert consolidates past
+		// capacity and splits — one PMwCAS across three mapping words.
+		for k := uint64(1); k <= 19; k++ {
+			if err := h.Insert(k*10, k); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Cut the power at a random device operation during the
+		// split-triggering insert.
+		cut := rng.Intn(150) + 1
+		step := 0
+		crashed := false
+		func() {
+			defer func() {
+				if recover() != nil {
+					crashed = true
+				}
+			}()
+			store.Device().SetHook(func(op string, off nvram.Offset) {
+				step++
+				if step == cut {
+					panic("power failure")
+				}
+			})
+			defer store.Device().SetHook(nil)
+			h.Insert(195, 195)
+		}()
+		store.Device().SetHook(nil)
+
+		// Power failure + restart.
+		store.Device().Crash()
+		if _, err := store.Recover(); err != nil {
+			log.Fatal(err)
+		}
+		tree2, err := store.BwTree(pmwcas.BwTreeOptions{LeafCapacity: 16, ConsolidateAfter: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h2 := tree2.NewHandle()
+
+		// The tree must be exactly pre-insert or post-insert: never torn.
+		_, err = h2.Get(195)
+		switch {
+		case err == nil:
+			rolledForward++
+		case errors.Is(err, pmwcas.ErrBwTreeNotFound):
+			rolledBack++
+		default:
+			log.Fatalf("trial %d: unexpected Get error: %v", trial, err)
+		}
+		for k := uint64(1); k <= 19; k++ {
+			if v, err := h2.Get(k * 10); err != nil || v != k {
+				log.Fatalf("trial %d (cut at %d): pre-crash key %d broken: %d, %v",
+					trial, cut, k*10, v, err)
+			}
+		}
+		// And fully operational: push it through more splits.
+		for k := uint64(300); k < 400; k++ {
+			if err := h2.Insert(k, k); err != nil {
+				log.Fatalf("trial %d: post-recovery insert: %v", trial, err)
+			}
+		}
+		verdict := "no crash reached"
+		if crashed {
+			verdict = "crashed mid-split"
+		}
+		fmt.Printf("trial %2d: cut at op %3d (%s) -> consistent ✓\n", trial, cut, verdict)
+	}
+
+	fmt.Printf("\n%d/%d trials consistent — %d recovered to pre-insert state, %d to post-insert.\n",
+		trials, trials, rolledBack, rolledForward)
+	fmt.Println("No index-specific recovery code ran: the descriptor pool scan did all of it.")
+}

@@ -1,0 +1,89 @@
+// stringkeys: a currency-pair rate table keyed by short strings, using
+// the order-preserving key codec over the persistent skip list — string
+// range and prefix scans on an index that physically stores 8-byte words.
+//
+// Run with:
+//
+//	go run ./examples/stringkeys
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmwcas"
+)
+
+func main() {
+	store, err := pmwcas.Create(pmwcas.Config{Size: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	list, err := store.SkipList()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := list.NewHandle(1)
+
+	// Mid-market rates in basis points; keys are 6-byte pair symbols.
+	rates := map[string]uint64{
+		"EURUSD": 10871, "EURGBP": 8422, "EURJPY": 169230,
+		"GBPUSD": 12905, "GBPJPY": 200950,
+		"USDJPY": 155720, "USDCHF": 8901,
+		"AUDUSD": 6655, "NZDUSD": 6012,
+	}
+	for sym, rate := range rates {
+		key, err := pmwcas.EncodeKeyString(sym)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.Insert(key, rate); err != nil {
+			log.Fatalf("insert %s: %v", sym, err)
+		}
+	}
+
+	// Point lookup through the codec.
+	k := pmwcas.MustEncodeKey("GBPUSD")
+	rate, err := h.Get(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GBPUSD = %d.%04d\n", rate/10000, rate%10000)
+
+	// Prefix scan: every EUR-quoted pair, in lexicographic order, from
+	// one integer range scan.
+	lo, hi, err := pmwcas.KeyPrefixRange([]byte("EUR"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("EUR pairs:")
+	h.Scan(lo, hi, func(e pmwcas.SkipListEntry) bool {
+		sym, err := pmwcas.DecodeKeyString(e.Key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> %d\n", sym, e.Value)
+		return true
+	})
+
+	// Full table in reverse lexicographic order — the doubly-linked
+	// list's party trick.
+	fmt.Println("all pairs, reverse order:")
+	h.ScanReverse(1, pmwcas.MaxSkipListKey, func(e pmwcas.SkipListEntry) bool {
+		sym, _ := pmwcas.DecodeKeyString(e.Key)
+		fmt.Printf("  %s\n", sym)
+		return true
+	})
+
+	// Rates survive a power failure like any other key.
+	store.Crash()
+	if _, err := store.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	list2, _ := store.SkipList()
+	h2 := list2.NewHandle(2)
+	if v, err := h2.Get(pmwcas.MustEncodeKey("USDJPY")); err != nil || v != rates["USDJPY"] {
+		log.Fatalf("USDJPY lost in crash: %d, %v", v, err)
+	}
+	fmt.Println("rates survived the power failure ✓")
+}

@@ -1,0 +1,3 @@
+module pmwcas
+
+go 1.22

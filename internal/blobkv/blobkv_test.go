@@ -1,0 +1,548 @@
+package blobkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pmwcas/internal/alloc"
+	"pmwcas/internal/core"
+	"pmwcas/internal/keycodec"
+	"pmwcas/internal/nvram"
+	"pmwcas/internal/skiplist"
+)
+
+type kenv struct {
+	dev     *nvram.Device
+	pool    *core.Pool
+	alloc   *alloc.Allocator
+	list    *skiplist.List
+	kv      *Store
+	poolReg nvram.Region
+	aReg    nvram.Region
+	roots   nvram.Region
+	stage   nvram.Region
+	spec    []alloc.Class
+}
+
+const (
+	kvDescs   = 128
+	kvHandles = 8
+	// Each blobkv handle consumes one skiplist handle and one allocator
+	// handle, and Open's staging recovery takes one more.
+	allocHandles = 2*kvHandles + 2
+)
+
+func kvSpec() []alloc.Class {
+	return []alloc.Class{
+		{BlockSize: 64, Count: 2048},
+		{BlockSize: 256, Count: 512},
+		{BlockSize: 1024, Count: 128},
+		{BlockSize: 4096, Count: 64},
+	}
+}
+
+func newKVEnv(t testing.TB) *kenv {
+	t.Helper()
+	e := &kenv{spec: kvSpec()}
+	poolBytes := core.PoolSize(kvDescs, skiplist.MinDescriptorWords)
+	aBytes := alloc.MetaSize(e.spec, allocHandles)
+	e.dev = nvram.New(poolBytes + aBytes + 1<<14)
+	l := nvram.NewLayout(e.dev)
+	e.poolReg = l.Carve(poolBytes)
+	e.aReg = l.Carve(aBytes)
+	e.roots = l.Carve(nvram.LineBytes)
+	e.stage = l.Carve(StagingWords(kvHandles) * nvram.WordSize)
+	e.build(t, false)
+	return e
+}
+
+// build (re)assembles every layer; recover selects the restart path.
+func (e *kenv) build(t testing.TB, recover bool) {
+	t.Helper()
+	var err error
+	e.alloc, err = alloc.New(e.dev, e.aReg, e.spec, allocHandles)
+	if err != nil {
+		t.Fatalf("alloc.New: %v", err)
+	}
+	if recover {
+		e.alloc.Recover()
+	}
+	e.pool, err = core.NewPool(core.Config{
+		Device: e.dev, Region: e.poolReg,
+		DescriptorCount: kvDescs, WordsPerDescriptor: skiplist.MinDescriptorWords,
+		Mode: core.Persistent, Allocator: e.alloc,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	if recover {
+		if _, err := e.pool.Recover(); err != nil {
+			t.Fatalf("pool.Recover: %v", err)
+		}
+	}
+	e.list, err = skiplist.New(skiplist.Config{Pool: e.pool, Allocator: e.alloc, Roots: e.roots})
+	if err != nil {
+		t.Fatalf("skiplist.New: %v", err)
+	}
+	e.kv, err = Open(Config{
+		List: e.list, Allocator: e.alloc, Device: e.dev,
+		Staging: e.stage, MaxHandles: kvHandles,
+	})
+	if err != nil {
+		t.Fatalf("blobkv.Open: %v", err)
+	}
+}
+
+func (e *kenv) reopen(t testing.TB) {
+	t.Helper()
+	e.dev.SetHook(nil)
+	e.dev.Crash()
+	e.build(t, true)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+
+	if err := h.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := h.Get([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Get = (%q, %v)", v, err)
+	}
+	if err := h.Put([]byte("hello"), []byte("again, with a much longer value this time")); err != nil {
+		t.Fatalf("replace Put: %v", err)
+	}
+	v, _ = h.Get([]byte("hello"))
+	if string(v) != "again, with a much longer value this time" {
+		t.Fatalf("replaced value = %q", v)
+	}
+	if err := h.Delete([]byte("hello")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := h.Get([]byte("hello")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	if err := h.Delete([]byte("hello")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete: %v", err)
+	}
+}
+
+func TestEmptyAndBinaryValues(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	if err := h.Put([]byte("empty"), nil); err != nil {
+		t.Fatalf("Put(nil): %v", err)
+	}
+	v, err := h.Get([]byte("empty"))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("Get(empty) = (%v, %v)", v, err)
+	}
+	blob := make([]byte, 333)
+	for i := range blob {
+		blob[i] = byte(i * 7)
+	}
+	if err := h.Put([]byte("bin"), blob); err != nil {
+		t.Fatalf("Put(bin): %v", err)
+	}
+	got, _ := h.Get([]byte("bin"))
+	if !bytes.Equal(got, blob) {
+		t.Fatal("binary value corrupted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	if err := h.Put([]byte("toolongkey"), nil); !errors.Is(err, keycodec.ErrTooLong) {
+		t.Fatalf("long key: %v", err)
+	}
+	if err := h.Put([]byte("k"), make([]byte, MaxValueLen+1)); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("huge value: %v", err)
+	}
+	if h.Has([]byte("waytoolong")) {
+		t.Fatal("Has(long key) = true")
+	}
+}
+
+func TestScansAndPrefix(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	pairs := map[string]string{
+		"app/a": "1", "app/b": "2", "app/c": "3",
+		"db/x": "10", "db/y": "11",
+		"zz": "99",
+	}
+	for k, v := range pairs {
+		if err := h.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	var keys []string
+	h.ScanPrefix([]byte("app/"), func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		if pairs[string(k)] != string(v) {
+			t.Fatalf("prefix scan value mismatch for %s: %q", k, v)
+		}
+		return true
+	})
+	want := []string{"app/a", "app/b", "app/c"}
+	if len(keys) != len(want) {
+		t.Fatalf("prefix keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("prefix keys = %v", keys)
+		}
+	}
+	// Bounded scan.
+	n := 0
+	h.Scan([]byte("db/x"), []byte("db/y"), func(k, v []byte) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("range scan found %d", n)
+	}
+	if h.Len() != len(pairs) {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestMemoryReclaimedOnReplaceAndDelete(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	base, _ := e.alloc.InUse() // sentinels
+	// Churn the same key with many values, then delete.
+	for i := 0; i < 200; i++ {
+		if err := h.Put([]byte("churn"), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := h.Delete([]byte("churn")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	e.pool.Epochs().Advance()
+	e.pool.Epochs().Collect()
+	blocks, _ := e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("%d blocks live after churn+delete, want %d: records leaked", blocks, base)
+	}
+}
+
+func TestPersistAcrossRestart(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := h.Put([]byte(k), []byte(fmt.Sprintf("value-%d", i*i))); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	e.reopen(t)
+	h2 := e.kv.NewHandle(1)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, err := h2.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("value-%d", i*i) {
+			t.Fatalf("Get(%s) after restart = (%q, %v)", k, v, err)
+		}
+	}
+}
+
+// Property: blobkv behaves exactly like a map[string][]byte.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	f := func(seed int64, ops []byte) bool {
+		e := newKVEnv(t)
+		h := e.kv.NewHandle(seed)
+		ref := map[string][]byte{}
+		rng := rand.New(rand.NewSource(seed))
+		keys := []string{"a", "bb", "ccc", "dddd", "e", "ff", "g7"}
+		for _, op := range ops {
+			k := keys[rng.Intn(len(keys))]
+			switch op % 3 {
+			case 0:
+				v := make([]byte, rng.Intn(64))
+				rng.Read(v)
+				if h.Put([]byte(k), v) != nil {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				err := h.Delete([]byte(k))
+				if _, ok := ref[k]; ok {
+					if err != nil {
+						return false
+					}
+					delete(ref, k)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 2:
+				v, err := h.Get([]byte(k))
+				want, ok := ref[k]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(v, want) {
+					return false
+				}
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	e := newKVEnv(t)
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := e.kv.NewHandle(int64(w))
+			for i := 0; i < 100; i++ {
+				k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+				if err := h.Put(k, bytes.Repeat([]byte{byte(w)}, i%50)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := e.kv.NewHandle(99)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 100; i++ {
+			k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+			v, err := h.Get(k)
+			if err != nil || len(v) != i%50 {
+				t.Fatalf("Get(%s) = (%d bytes, %v)", k, len(v), err)
+			}
+		}
+	}
+}
+
+// Contended upserts on one key: the final value must be exactly one
+// writer's value, and all displaced records must be reclaimed.
+func TestConcurrentSameKeyChurn(t *testing.T) {
+	e := newKVEnv(t)
+	base, _ := e.alloc.InUse()
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := e.kv.NewHandle(int64(w))
+			for i := 0; i < 100; i++ {
+				if err := h.Put([]byte("hot"), []byte{byte(w), byte(i)}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := e.kv.NewHandle(99)
+	v, err := h.Get([]byte("hot"))
+	if err != nil || len(v) != 2 {
+		t.Fatalf("Get(hot) = (%v, %v)", v, err)
+	}
+	if err := h.Delete([]byte("hot")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	e.pool.Epochs().Drain()
+	blocks, _ := e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("%d blocks live after churn, want %d", blocks, base)
+	}
+}
+
+type crashPanic struct{}
+
+// TestCrashSweepPut injects a crash at every device step of a Put that
+// replaces an existing value, and verifies after recovery: the key maps
+// to exactly the old or the new value, and not one record block is
+// leaked or double-owned.
+func TestCrashSweepPut(t *testing.T) {
+	oldVal := []byte("the-old-value")
+	newVal := []byte("the-new-value-somewhat-longer")
+	for k := 1; ; k++ {
+		e := newKVEnv(t)
+		h := e.kv.NewHandle(1)
+		if err := h.Put([]byte("key"), oldVal); err != nil {
+			t.Fatalf("seed Put: %v", err)
+		}
+		e.pool.Epochs().Advance()
+		e.pool.Epochs().Collect()
+		liveBefore, _ := e.alloc.InUse()
+
+		step := 0
+		completed := func() (completed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashPanic); !ok {
+						panic(r)
+					}
+					completed = false
+				}
+			}()
+			e.dev.SetHook(func(op string, off nvram.Offset) {
+				step++
+				if step == k {
+					panic(crashPanic{})
+				}
+			})
+			defer e.dev.SetHook(nil)
+			if err := h.Put([]byte("key"), newVal); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			e.pool.Epochs().Advance()
+			e.pool.Epochs().Collect()
+			return true
+		}()
+
+		e.reopen(t)
+		h2 := e.kv.NewHandle(1)
+		v, err := h2.Get([]byte("key"))
+		if err != nil {
+			t.Fatalf("crash at %d: Get: %v", k, err)
+		}
+		if !bytes.Equal(v, oldVal) && !bytes.Equal(v, newVal) {
+			t.Fatalf("crash at %d: torn value %q", k, v)
+		}
+		// Exactly one record + one node live, regardless of which value
+		// won: no leaked old/new record, no double ownership.
+		blocks, _ := e.alloc.InUse()
+		if blocks != liveBefore {
+			t.Fatalf("crash at %d: %d blocks live, want %d (value=%q)",
+				k, blocks, liveBefore, v)
+		}
+		if completed {
+			t.Logf("put sweep covered %d crash points", k-1)
+			return
+		}
+	}
+}
+
+// TestCrashSweepDelete is the same sweep over a Delete.
+func TestCrashSweepDelete(t *testing.T) {
+	for k := 1; ; k++ {
+		e := newKVEnv(t)
+		h := e.kv.NewHandle(1)
+		if err := h.Put([]byte("a"), []byte("keepme")); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+		if err := h.Put([]byte("b"), []byte("deleteme")); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+		e.pool.Epochs().Advance()
+		e.pool.Epochs().Collect()
+		liveBefore, _ := e.alloc.InUse()
+
+		step := 0
+		completed := func() (completed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashPanic); !ok {
+						panic(r)
+					}
+					completed = false
+				}
+			}()
+			e.dev.SetHook(func(op string, off nvram.Offset) {
+				step++
+				if step == k {
+					panic(crashPanic{})
+				}
+			})
+			defer e.dev.SetHook(nil)
+			if err := h.Delete([]byte("b")); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			e.pool.Epochs().Advance()
+			e.pool.Epochs().Collect()
+			return true
+		}()
+
+		e.reopen(t)
+		h2 := e.kv.NewHandle(1)
+		if v, err := h2.Get([]byte("a")); err != nil || string(v) != "keepme" {
+			t.Fatalf("crash at %d: bystander key broken: (%q, %v)", k, v, err)
+		}
+		_, err := h2.Get([]byte("b"))
+		present := err == nil
+		blocks, _ := e.alloc.InUse()
+		want := liveBefore
+		if !present {
+			want -= 2 // node + record both reclaimed
+		}
+		if blocks != want {
+			t.Fatalf("crash at %d: %d blocks live, want %d (b present=%v)",
+				k, blocks, want, present)
+		}
+		if completed {
+			t.Logf("delete sweep covered %d crash points", k-1)
+			return
+		}
+	}
+}
+
+// unstage is the hard-error path of Put; exercise it directly: the
+// staged record must be freed and the slot durably cleared, in an order
+// that recovery can always replay.
+func TestUnstageReleasesRecordAndSlot(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	base, _ := e.alloc.InUse()
+	rec, err := h.writeRecord(12345, []byte("staged"))
+	if err != nil {
+		t.Fatalf("writeRecord: %v", err)
+	}
+	if got := e.dev.Load(h.slot); got != rec {
+		t.Fatalf("slot = %#x, want %#x", got, rec)
+	}
+	h.unstage(rec)
+	if got := e.dev.Load(h.slot); got != 0 {
+		t.Fatalf("slot not cleared: %#x", got)
+	}
+	if got := e.dev.PersistedLoad(h.slot); got != 0 {
+		t.Fatalf("slot clear not durable: %#x", got)
+	}
+	blocks, _ := e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("record not freed: %d blocks", blocks)
+	}
+}
+
+// Crash while a record is staged but never linked: Open must free it.
+func TestStagedOrphanFreedOnOpen(t *testing.T) {
+	e := newKVEnv(t)
+	h := e.kv.NewHandle(1)
+	base, _ := e.alloc.InUse()
+	if _, err := h.writeRecord(keyFor(t, "orphan"), []byte("never linked")); err != nil {
+		t.Fatalf("writeRecord: %v", err)
+	}
+	e.reopen(t) // includes blobkv.Open's staging recovery
+	blocks, _ := e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("orphan record leaked: %d blocks, want %d", blocks, base)
+	}
+}
+
+func keyFor(t *testing.T, s string) uint64 {
+	t.Helper()
+	k, err := keycodec.EncodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

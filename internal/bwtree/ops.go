@@ -1,0 +1,257 @@
+package bwtree
+
+import (
+	"errors"
+
+	"pmwcas/internal/core"
+)
+
+// pathEntry records one inner page visited during a descent: the LPID
+// and the chain head observed there. The head doubles as the expected
+// value when an SMO later posts a delta to that parent.
+type pathEntry struct {
+	lpid uint64
+	head uint64
+}
+
+// maxDescentRestarts bounds descent retries before declaring the tree
+// corrupt; lock-free traversals can restart, but unbounded restarts with
+// no progress indicate a structural bug, and hiding that would be worse
+// than failing loudly.
+const maxDescentRestarts = 1000
+
+// descend walks from the root to the leaf covering key, helping
+// in-flight baseline splits along the way, and returns the inner-page
+// path, the leaf's LPID, and the resolved leaf view.
+func (h *Handle) descend(key uint64) ([]pathEntry, uint64, pageView, error) {
+	t := h.tree
+restart:
+	for attempt := 0; attempt < maxDescentRestarts; attempt++ {
+		var path []pathEntry
+		lpid := uint64(RootLPID)
+		for depth := 0; depth < 64; depth++ {
+			head := h.readMapping(lpid)
+			if head == 0 {
+				continue restart // LPID died (merge) between route and read
+			}
+			v := h.resolve(head)
+			if v.removed {
+				continue restart
+			}
+			if key > v.high {
+				// An orphan split (baseline mode) leaves this range
+				// reachable only through the side link until someone
+				// posts the parent update; needing the lateral move is
+				// precisely the signal that the posting is missing, so
+				// help before following the link (Bw-tree help-along).
+				if v.hasSplit && t.smo == SMOSingleCAS && len(path) > 0 {
+					h.helpSplitCAS(path[len(path)-1].lpid, v.low, v.splitSep,
+						v.preSplitHigh, lpid, v.splitSibling)
+				}
+				if v.side == 0 {
+					continue restart // stale route past the rightmost page
+				}
+				lpid = v.side
+				continue
+			}
+			if v.isLeaf {
+				return path, lpid, v, nil
+			}
+			child, ok := v.route(key)
+			if !ok {
+				continue restart
+			}
+			path = append(path, pathEntry{lpid: lpid, head: head})
+			lpid = child
+		}
+		continue restart // implausible depth: restart defensively
+	}
+	return nil, 0, pageView{}, errors.New("bwtree: descent did not converge (structure corrupt?)")
+}
+
+// Get returns the value stored under key.
+func (h *Handle) Get(key uint64) (uint64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	_, _, v, err := h.descend(key)
+	if err != nil {
+		return 0, err
+	}
+	val, ok := v.get(key)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return val, nil
+}
+
+// Contains reports whether key is present.
+func (h *Handle) Contains(key uint64) bool {
+	_, err := h.Get(key)
+	return err == nil
+}
+
+// Insert adds key/value; ErrKeyExists if present.
+func (h *Handle) Insert(key, value uint64) error {
+	return h.write(key, value, recInsert)
+}
+
+// Update replaces the value under key; ErrNotFound if absent.
+func (h *Handle) Update(key, value uint64) error {
+	return h.write(key, value, recUpdate)
+}
+
+// Delete removes key; ErrNotFound if absent.
+func (h *Handle) Delete(key uint64) error {
+	return h.write(key, 0, recDelete)
+}
+
+// write installs one leaf delta (insert, update, or delete — Figure 4a)
+// and runs page maintenance afterwards.
+func (h *Handle) write(key, value uint64, typ uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := checkValue(value); err != nil {
+		return err
+	}
+	for {
+		err := h.writeOnce(key, value, typ)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			h.tree.pool.ReclaimPause()
+			continue
+		}
+		if errors.Is(err, errRetry) {
+			continue
+		}
+		return err
+	}
+}
+
+// errRetry signals a lost installation race: re-descend and try again.
+var errRetry = errors.New("bwtree: retry")
+
+func (h *Handle) writeOnce(key, value, typ uint64) error {
+	t := h.tree
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+
+	path, leafLPID, v, err := h.descend(key)
+	if err != nil {
+		return err
+	}
+	_, present := v.get(key)
+	switch typ {
+	case recInsert:
+		if present {
+			return ErrKeyExists
+		}
+	case recUpdate, recDelete:
+		if !present {
+			return ErrNotFound
+		}
+	}
+
+	if t.smo == SMOSingleCAS {
+		delta, err := buildLeafDelta(t, h.ah, typ, key, value, uint64(v.head), v.chain+1, scratchWord)
+		if err != nil {
+			return err
+		}
+		if !t.dev.CAS(t.mappingOff(leafLPID), uint64(v.head), uint64(delta)) {
+			_ = t.alloc.Free(delta)
+			return errRetry
+		}
+	} else {
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return err
+		}
+		field, err := d.ReserveEntry(t.mappingOff(leafLPID), uint64(v.head), core.PolicyFreeNewOnFailure)
+		if err != nil {
+			d.Discard()
+			return err
+		}
+		if _, err := buildLeafDelta(t, h.ah, typ, key, value, uint64(v.head), v.chain+1, field); err != nil {
+			d.Discard()
+			return err
+		}
+		ok, err := d.Execute()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errRetry
+		}
+	}
+	h.maintain(path, leafLPID)
+	return nil
+}
+
+// Scan visits keys in [from, to] ascending, following leaf side links.
+// fn returning false stops the scan.
+func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
+	if err := checkKey(from); err != nil {
+		return err
+	}
+	if to >= MaxKey {
+		to = MaxKey - 1
+	}
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+
+	_, _, v, err := h.descend(from)
+	if err != nil {
+		return err
+	}
+	for {
+		for _, e := range v.leafEntries {
+			if e.Key < from {
+				continue
+			}
+			if e.Key > to {
+				return nil
+			}
+			if !fn(e) {
+				return nil
+			}
+		}
+		if v.high >= to || v.high >= MaxKey {
+			return nil
+		}
+		// Move right. Re-descending from the fence is always correct;
+		// following the side link is the fast path.
+		cursor := v.high + 1
+		if v.side != 0 {
+			if head := h.readMapping(v.side); head != 0 {
+				if sv := h.resolve(head); !sv.removed && sv.low < cursor {
+					v = sv
+					continue
+				}
+			}
+		}
+		_, _, v2, err := h.descend(cursor)
+		if err != nil {
+			return err
+		}
+		v = v2
+	}
+}
+
+// Range returns the entries in [from, to] ascending.
+func (h *Handle) Range(from, to uint64) ([]Entry, error) {
+	var out []Entry
+	err := h.Scan(from, to, func(e Entry) bool { out = append(out, e); return true })
+	return out, err
+}
+
+// Len counts keys by scanning. O(n); tests and tools only.
+func (h *Handle) Len() int {
+	n := 0
+	h.Scan(1, MaxKey-1, func(Entry) bool { n++; return true })
+	return n
+}

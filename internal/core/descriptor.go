@@ -1,0 +1,700 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pmwcas/internal/alloc"
+	"pmwcas/internal/epoch"
+	"pmwcas/internal/nvram"
+)
+
+// Mode selects whether a pool provides persistence guarantees.
+type Mode int
+
+const (
+	// Persistent enables the full dirty-bit protocol, flushing, and
+	// recovery (PMwCAS).
+	Persistent Mode = iota
+	// Volatile disables all flushing: the identical code path becomes the
+	// Harris-style volatile MwCAS the paper derives PMwCAS from.
+	Volatile
+)
+
+func (m Mode) String() string {
+	if m == Volatile {
+		return "Volatile"
+	}
+	return "Persistent"
+}
+
+// Descriptor field offsets (bytes from the descriptor base). Layout:
+//
+//	+0                status
+//	+8                count | callbackID<<16
+//	+16..63           padding (header owns its cache line)
+//	+64 + 32*i        word i: target address
+//	+72 + 32*i        word i: expected (old) value
+//	+80 + 32*i        word i: desired (new) value
+//	+88 + 32*i        word i: policy | parent-descriptor offset << 8
+//
+// The header has a cache line to itself so entries and header can be
+// persisted at distinct points: recovery trusts the persisted count only
+// because every entry below it was flushed — and fenced — before the
+// count was. Entries are never physically reordered after being written
+// (execution sorts a volatile index array instead), so a torn flush can
+// never mix two layouts of the same descriptor.
+const (
+	descStatusOff = 0
+	descCountOff  = 8
+	descWordsOff  = nvram.LineBytes
+	wordStride    = 32
+
+	wordAddrOff = 0
+	wordOldOff  = 8
+	wordNewOff  = 16
+	wordMetaOff = 24
+
+	countMask      = 0xffff
+	callbackShift  = 16
+	callbackIDMask = 0xffff
+
+	metaPolicyMask  = 0xff
+	metaParentShift = 8
+)
+
+// descSize returns the padded byte size of a descriptor with capacity k.
+func descSize(k int) uint64 {
+	n := uint64(descWordsOff + k*wordStride)
+	return (n + nvram.LineBytes - 1) / nvram.LineBytes * nvram.LineBytes
+}
+
+// PoolSize returns the region bytes needed for a pool of n descriptors
+// with k words each, for layout planning.
+func PoolSize(n, k int) uint64 { return uint64(n) * descSize(k) }
+
+// FinalizeFunc is a user-supplied finalize callback (paper §2.2, §5.2):
+// it runs when a descriptor's operation has concluded and its memory is
+// safe to recycle — during normal execution (after the epoch bound) and
+// during recovery. Because it must be invocable after a restart, it is
+// registered under a small integer ID at startup and descriptors refer to
+// it by ID, never by function pointer (§4.1).
+type FinalizeFunc func(view DescriptorView, succeeded bool)
+
+// Stats aggregates pool activity counters.
+type Stats struct {
+	Succeeded uint64 // PMwCAS operations that installed all new values
+	Failed    uint64 // PMwCAS operations that failed
+	Discarded uint64 // descriptors cancelled before execution
+	Helps     uint64 // executions of a descriptor by a non-owner thread
+	Reads     uint64 // PMwCASRead calls that had to help an in-flight op
+}
+
+// Config configures a Pool.
+type Config struct {
+	// Device is the NVRAM the descriptors and target words live on.
+	Device *nvram.Device
+	// Region is the dedicated descriptor area (paper §5.1). Its location
+	// must be deterministic across restarts.
+	Region nvram.Region
+	// DescriptorCount is the number of descriptors in the pool. The paper
+	// sizes this as a small multiple of the worker thread count.
+	DescriptorCount int
+	// WordsPerDescriptor is the fixed capacity of each descriptor. The
+	// paper observes a handful (<= 4) suffices for non-trivial structures.
+	WordsPerDescriptor int
+	// Mode selects Persistent (PMwCAS) or Volatile (MwCAS).
+	Mode Mode
+	// Allocator, if set, is used by the recycling policies to free memory
+	// blocks referenced by old/new values. Required if any descriptor uses
+	// a policy other than PolicyNone.
+	Allocator *alloc.Allocator
+	// Epochs, if nil, a fresh manager is created. Sharing one manager
+	// between the pool and the index using it gives the paper's
+	// piggybacking: one reclamation protocol for both.
+	Epochs *epoch.Manager
+}
+
+// Pool is a fixed array of PMwCAS descriptors in NVRAM plus the volatile
+// machinery to allocate, execute, help, recycle, and recover them.
+type Pool struct {
+	dev   *nvram.Device
+	reg   nvram.Region
+	mode  Mode
+	alloc *alloc.Allocator
+	mgr   *epoch.Manager
+
+	nDesc int
+	kWord int
+	size  uint64 // descriptor stride
+
+	// dirty is DirtyFlag in Persistent mode, 0 in Volatile mode: the same
+	// code path compiles both protocols.
+	dirty uint64
+
+	freeMu   sync.Mutex
+	freeList []int // descriptor indexes ready for reuse
+
+	callbackMu sync.RWMutex
+	callbacks  map[uint16]FinalizeFunc
+
+	retires atomic.Uint64 // drives periodic epoch advancing
+
+	stats struct {
+		succeeded, failed, discarded, helps, reads atomic.Uint64
+	}
+}
+
+// NewPool lays a descriptor pool over cfg.Region. On a fresh region all
+// descriptors are Free. After a crash, call Recover before using the pool.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Device == nil {
+		return nil, errors.New("core: Config.Device is required")
+	}
+	if cfg.DescriptorCount <= 0 {
+		return nil, fmt.Errorf("core: DescriptorCount must be positive, got %d", cfg.DescriptorCount)
+	}
+	if cfg.WordsPerDescriptor <= 0 || cfg.WordsPerDescriptor > 64 {
+		return nil, fmt.Errorf("core: WordsPerDescriptor must be in [1,64], got %d", cfg.WordsPerDescriptor)
+	}
+	need := PoolSize(cfg.DescriptorCount, cfg.WordsPerDescriptor)
+	if cfg.Region.Len < need {
+		return nil, fmt.Errorf("core: region holds %d bytes, pool needs %d", cfg.Region.Len, need)
+	}
+	if !offsetOK(cfg.Region.End()) {
+		return nil, fmt.Errorf("core: region end %#x does not fit in a flagged word", cfg.Region.End())
+	}
+	mgr := cfg.Epochs
+	if mgr == nil {
+		mgr = epoch.NewManager()
+	}
+	p := &Pool{
+		dev:       cfg.Device,
+		reg:       cfg.Region,
+		mode:      cfg.Mode,
+		alloc:     cfg.Allocator,
+		mgr:       mgr,
+		nDesc:     cfg.DescriptorCount,
+		kWord:     cfg.WordsPerDescriptor,
+		size:      descSize(cfg.WordsPerDescriptor),
+		callbacks: make(map[uint16]FinalizeFunc),
+	}
+	if cfg.Mode == Persistent {
+		p.dirty = DirtyFlag
+	}
+	p.freeList = make([]int, 0, p.nDesc)
+	for i := p.nDesc - 1; i >= 0; i-- {
+		if p.dev.Load(p.descOff(i)+descStatusOff)&^DirtyFlag == StatusFree {
+			p.freeList = append(p.freeList, i)
+		}
+	}
+	return p, nil
+}
+
+// Epochs returns the pool's epoch manager so data structures can register
+// guards and piggyback their own deferred frees on it.
+func (p *Pool) Epochs() *epoch.Manager { return p.mgr }
+
+// Device returns the underlying NVRAM device.
+func (p *Pool) Device() *nvram.Device { return p.dev }
+
+// Mode returns the pool's persistence mode.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// WordsPerDescriptor returns each descriptor's fixed word capacity.
+func (p *Pool) WordsPerDescriptor() int { return p.kWord }
+
+// Capacity returns the total number of descriptors.
+func (p *Pool) Capacity() int { return p.nDesc }
+
+// FreeDescriptors returns how many descriptors are currently allocatable.
+func (p *Pool) FreeDescriptors() int {
+	p.freeMu.Lock()
+	defer p.freeMu.Unlock()
+	return len(p.freeList)
+}
+
+// Stats returns a snapshot of the pool's activity counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Succeeded: p.stats.succeeded.Load(),
+		Failed:    p.stats.failed.Load(),
+		Discarded: p.stats.discarded.Load(),
+		Helps:     p.stats.helps.Load(),
+		Reads:     p.stats.reads.Load(),
+	}
+}
+
+// ErrCallbackRegistered reports a duplicate finalize-callback ID.
+var ErrCallbackRegistered = errors.New("core: callback id already registered")
+
+// RegisterCallback installs a finalize callback under id (1..65535). Must
+// be called at startup, before any descriptor referencing id executes —
+// including before Recover, which may need to invoke it. ID 0 is reserved
+// for the default policy-based finalizer.
+func (p *Pool) RegisterCallback(id uint16, fn FinalizeFunc) error {
+	if id == 0 {
+		return errors.New("core: callback id 0 is reserved")
+	}
+	if fn == nil {
+		return errors.New("core: nil callback")
+	}
+	p.callbackMu.Lock()
+	defer p.callbackMu.Unlock()
+	if _, dup := p.callbacks[id]; dup {
+		return fmt.Errorf("%w: %d", ErrCallbackRegistered, id)
+	}
+	p.callbacks[id] = fn
+	return nil
+}
+
+func (p *Pool) callback(id uint16) FinalizeFunc {
+	p.callbackMu.RLock()
+	defer p.callbackMu.RUnlock()
+	return p.callbacks[id]
+}
+
+// descOff returns the base offset of descriptor i.
+func (p *Pool) descOff(i int) nvram.Offset {
+	return p.reg.Base + uint64(i)*p.size
+}
+
+// descIndex maps a descriptor base offset back to its index, or -1.
+func (p *Pool) descIndex(off nvram.Offset) int {
+	if off < p.reg.Base || off >= p.reg.Base+uint64(p.nDesc)*p.size {
+		return -1
+	}
+	if (off-p.reg.Base)%p.size != 0 {
+		return -1
+	}
+	return int((off - p.reg.Base) / p.size)
+}
+
+// wordOff returns the base of word descriptor i within descriptor d.
+func wordOff(d nvram.Offset, i int) nvram.Offset {
+	return d + descWordsOff + uint64(i)*wordStride
+}
+
+// flushEntries persists a descriptor's entry lines (not the header).
+func (p *Pool) flushEntries(d nvram.Offset) {
+	if p.mode != Persistent {
+		return
+	}
+	for off := d + descWordsOff; off < d+p.size; off += nvram.LineBytes {
+		p.dev.Flush(off)
+	}
+}
+
+// flushHeader persists a descriptor's status and count. Callers must have
+// flushed (and fenced) the entries the new count covers first.
+func (p *Pool) flushHeader(d nvram.Offset) {
+	if p.mode != Persistent {
+		return
+	}
+	p.dev.Flush(d + descStatusOff)
+}
+
+// persist implements Algorithm 1's persist in pool mode: in Volatile mode
+// it is free.
+func (p *Pool) persist(addr nvram.Offset, value uint64) {
+	if p.mode != Persistent {
+		return
+	}
+	Persist(p.dev, addr, value)
+}
+
+// readStatus returns a descriptor's status with the dirty bit masked.
+func (p *Pool) readStatus(d nvram.Offset) uint64 {
+	return p.dev.Load(d+descStatusOff) &^ DirtyFlag
+}
+
+// NewHandle returns a thread context for issuing PMwCAS operations.
+// Handles must not be shared between goroutines; create one per worker.
+func (p *Pool) NewHandle() *Handle {
+	return &Handle{pool: p, guard: p.mgr.Register()}
+}
+
+// A Handle is one thread's interface to the pool: it carries the thread's
+// epoch guard and a small private cache of free descriptors (the paper's
+// per-thread descriptor partitions, §5.1).
+type Handle struct {
+	pool  *Pool
+	guard *epoch.Guard
+	cache []int
+}
+
+// handleCacheSize bounds the per-handle free descriptor cache.
+const handleCacheSize = 16
+
+// Guard exposes the handle's epoch guard so index code can protect entire
+// traversals instead of individual reads.
+func (h *Handle) Guard() *epoch.Guard { return h.guard }
+
+// Pool returns the pool this handle draws from.
+func (h *Handle) Pool() *Pool { return h.pool }
+
+// takeIndex acquires a free descriptor index, refilling the private cache
+// from the shared list when needed. Returns -1 if the pool is exhausted.
+func (h *Handle) takeIndex() int {
+	if len(h.cache) == 0 {
+		p := h.pool
+		p.freeMu.Lock()
+		n := len(p.freeList)
+		take := handleCacheSize
+		if take > n {
+			take = n
+		}
+		h.cache = append(h.cache, p.freeList[n-take:]...)
+		p.freeList = p.freeList[:n-take]
+		p.freeMu.Unlock()
+	}
+	if len(h.cache) == 0 {
+		return -1
+	}
+	i := h.cache[len(h.cache)-1]
+	h.cache = h.cache[:len(h.cache)-1]
+	return i
+}
+
+func (p *Pool) releaseIndex(i int) {
+	p.freeMu.Lock()
+	p.freeList = append(p.freeList, i)
+	p.freeMu.Unlock()
+}
+
+// ErrPoolExhausted is returned when every descriptor is in flight or
+// pending reclamation. The paper sizes pools so this does not happen in
+// steady state. Callers that receive it while holding an epoch guard
+// must UNWIND — exit the guard, collect, and retry the whole operation —
+// rather than spin: a guard held while waiting pins the very garbage
+// whose reclamation would satisfy the allocation.
+var ErrPoolExhausted = errors.New("core: descriptor pool exhausted")
+
+// ReclaimPause is the unwind helper for ErrPoolExhausted: with no guard
+// held, advance the epoch, sweep the garbage list, and yield.
+func (p *Pool) ReclaimPause() {
+	p.mgr.Advance()
+	p.mgr.Collect()
+	runtime.Gosched()
+}
+
+// AllocateDescriptor prepares a Free descriptor for a new operation
+// (paper §2.2). The optional callbackID selects a registered finalize
+// callback invoked when the operation's memory is recycled; 0 means the
+// default policy-based finalizer.
+func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
+	idx := h.takeIndex()
+	if idx < 0 {
+		// Reclamation may simply be lagging: push the epoch and retry once.
+		h.pool.mgr.Advance()
+		h.pool.mgr.Collect()
+		if idx = h.takeIndex(); idx < 0 {
+			return nil, ErrPoolExhausted
+		}
+	}
+	p := h.pool
+	d := p.descOff(idx)
+	if got := p.readStatus(d); got != StatusFree {
+		panic(fmt.Sprintf("core: descriptor %d on free list has status %s", idx, statusName(got)))
+	}
+	// Count must be durably zero before any entry is reserved, so that a
+	// crash mid-initialization cannot resurrect entries from the
+	// descriptor's previous incarnation (§5.1). The finalizer already
+	// zeroed it persistently; initialize the volatile view only.
+	p.dev.Store(d+descCountOff, uint64(callbackID)<<callbackShift)
+	return &Descriptor{h: h, off: d, idx: idx}, nil
+}
+
+// A Descriptor is the volatile handle to one in-NVRAM PMwCAS descriptor
+// between AllocateDescriptor and Execute/Discard. It is single-owner:
+// only the allocating handle's goroutine may call its methods.
+type Descriptor struct {
+	h    *Handle
+	off  nvram.Offset
+	idx  int
+	n    int  // entries added so far
+	done bool // Execute or Discard has run
+}
+
+// Offset returns the descriptor's NVRAM offset (useful in tests/tools).
+func (d *Descriptor) Offset() nvram.Offset { return d.off }
+
+// Errors from descriptor construction.
+var (
+	ErrDescriptorFull   = errors.New("core: descriptor word capacity exceeded")
+	ErrDuplicateAddress = errors.New("core: address already specified in this descriptor")
+	ErrFlagBits         = errors.New("core: operand carries reserved flag bits")
+	ErrDescriptorDone   = errors.New("core: descriptor already executed or discarded")
+	ErrAddressNotFound  = errors.New("core: address not in descriptor")
+)
+
+func (d *Descriptor) checkAddable(addr nvram.Offset, vals ...uint64) error {
+	if d.done {
+		return ErrDescriptorDone
+	}
+	if d.n >= d.h.pool.kWord {
+		return ErrDescriptorFull
+	}
+	if !offsetOK(addr) || addr%nvram.WordSize != 0 {
+		return fmt.Errorf("core: bad target address %#x", addr)
+	}
+	for _, v := range vals {
+		if !IsClean(v) {
+			return fmt.Errorf("%w: %#x", ErrFlagBits, v)
+		}
+	}
+	p := d.h.pool
+	for i := 0; i < d.n; i++ {
+		if p.dev.Load(wordOff(d.off, i)+wordAddrOff) == addr {
+			return fmt.Errorf("%w: %#x", ErrDuplicateAddress, addr)
+		}
+	}
+	return nil
+}
+
+func (d *Descriptor) writeEntry(i int, addr nvram.Offset, old, new uint64, policy Policy) {
+	p := d.h.pool
+	w := wordOff(d.off, i)
+	p.dev.Store(w+wordAddrOff, addr)
+	p.dev.Store(w+wordOldOff, old)
+	p.dev.Store(w+wordNewOff, new)
+	p.dev.Store(w+wordMetaOff, uint64(policy)|d.off<<metaParentShift)
+}
+
+func (d *Descriptor) bumpCount() {
+	d.n++
+	p := d.h.pool
+	cur := p.dev.Load(d.off + descCountOff)
+	p.dev.Store(d.off+descCountOff, cur&^uint64(countMask)|uint64(d.n))
+}
+
+// AddWord specifies one word to modify: compare against old, install new
+// (paper §2.2). No memory recycling is associated with the word.
+func (d *Descriptor) AddWord(addr nvram.Offset, old, new uint64) error {
+	return d.AddWordWithPolicy(addr, old, new, PolicyNone)
+}
+
+// AddWordWithPolicy is AddWord with an explicit recycling policy for the
+// old/new values (Table 1). Use it when both values are known up front —
+// e.g., PolicyFreeOldOnSuccess when unlinking a node whose address is
+// already in hand.
+func (d *Descriptor) AddWordWithPolicy(addr nvram.Offset, old, new uint64, policy Policy) error {
+	if err := d.checkAddable(addr, old, new); err != nil {
+		return err
+	}
+	d.writeEntry(d.n, addr, old, new, policy)
+	d.bumpCount()
+	return nil
+}
+
+// ReserveEntry adds an entry whose new value is not yet known and returns
+// the NVRAM offset of its new_value field (paper §2.2, §5.2). The caller
+// passes that offset to the persistent allocator as the delivery target,
+// making the descriptor the temporary owner of the allocation: a crash
+// between allocation and Execute is repaired by recovery, which frees the
+// reserved memory of never-executed descriptors.
+//
+// To make that guarantee real, ReserveEntry persists the descriptor's
+// entries and count before returning — the entry must be durable before
+// memory is delivered into it.
+func (d *Descriptor) ReserveEntry(addr nvram.Offset, old uint64, policy Policy) (nvram.Offset, error) {
+	if err := d.checkAddable(addr, old); err != nil {
+		return 0, err
+	}
+	d.writeEntry(d.n, addr, old, 0, policy)
+	d.bumpCount()
+	// Entries first, then the count that covers them: recovery's
+	// never-leak guarantee for reserved memory depends on the persisted
+	// count never naming an unpersisted entry.
+	p := d.h.pool
+	p.flushEntries(d.off)
+	p.dev.Fence()
+	p.flushHeader(d.off)
+	p.dev.Fence()
+	return wordOff(d.off, d.n-1) + wordNewOff, nil
+}
+
+// RemoveWord removes a previously specified target word (paper §2.2).
+func (d *Descriptor) RemoveWord(addr nvram.Offset) error {
+	if d.done {
+		return ErrDescriptorDone
+	}
+	p := d.h.pool
+	for i := 0; i < d.n; i++ {
+		if p.dev.Load(wordOff(d.off, i)+wordAddrOff) == addr {
+			// Move the last entry into the hole. Parent offsets in meta
+			// are per-descriptor constants, so a straight 4-word copy is
+			// correct.
+			last := d.n - 1
+			if i != last {
+				from, to := wordOff(d.off, last), wordOff(d.off, i)
+				for f := 0; f < wordStride; f += nvram.WordSize {
+					p.dev.Store(to+uint64(f), p.dev.Load(from+uint64(f)))
+				}
+			}
+			d.n--
+			cur := p.dev.Load(d.off + descCountOff)
+			p.dev.Store(d.off+descCountOff, cur&^uint64(countMask)|uint64(d.n))
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %#x", ErrAddressNotFound, addr)
+}
+
+// WordCount returns the number of entries currently in the descriptor.
+func (d *Descriptor) WordCount() int { return d.n }
+
+// Discard cancels the operation before execution (paper §2.2). No target
+// word is modified. Memory reserved via ReserveEntry is recycled as if
+// the operation had failed, once the epoch permits.
+func (d *Descriptor) Discard() error {
+	if d.done {
+		return ErrDescriptorDone
+	}
+	d.done = true
+	p := d.h.pool
+	p.stats.discarded.Add(1)
+	p.retire(d.off, d.idx, false)
+	return nil
+}
+
+// retire hands a concluded descriptor to the epoch machinery: once no
+// thread can dereference it, its memory policies run and it returns to
+// the free list (§5.1).
+func (p *Pool) retire(d nvram.Offset, idx int, succeeded bool) {
+	p.mgr.Defer(func() {
+		p.finalize(d, succeeded)
+		p.releaseIndex(idx)
+	})
+	// Advance eagerly (it is one atomic add) so garbage ages past active
+	// guards quickly; sweep the list periodically.
+	p.mgr.Advance()
+	if p.retires.Add(1)%32 == 0 {
+		p.mgr.Collect()
+	}
+}
+
+// finalize applies recycling policies (or the registered callback), then
+// durably resets the descriptor to Free with zero count. The persist
+// order matters: entries become invisible (count=0) only after their
+// memory is freed, so a crash inside finalize re-runs the frees — the
+// allocator tolerates the resulting double-free attempts during recovery.
+func (p *Pool) finalize(d nvram.Offset, succeeded bool) {
+	cw := p.dev.Load(d + descCountOff)
+	cbID := uint16(cw >> callbackShift & callbackIDMask)
+	view := DescriptorView{pool: p, off: d, n: int(cw & countMask)}
+	if fn := p.callback(cbID); fn != nil {
+		fn(view, succeeded)
+	} else {
+		view.applyPolicies(succeeded)
+	}
+	p.dev.Store(d+descCountOff, 0)
+	p.dev.Store(d+descStatusOff, StatusFree)
+	p.flushHeader(d) // status and count share the header line
+	if p.mode == Persistent {
+		p.dev.Fence()
+	}
+}
+
+// DescriptorView is a read-only view of a concluded descriptor handed to
+// finalize callbacks (normal execution and recovery).
+type DescriptorView struct {
+	pool *Pool
+	off  nvram.Offset
+	n    int
+}
+
+// WordCount returns the number of entries.
+func (v DescriptorView) WordCount() int { return v.n }
+
+// Address returns entry i's target address.
+func (v DescriptorView) Address(i int) nvram.Offset {
+	return v.pool.dev.Load(wordOff(v.off, i) + wordAddrOff)
+}
+
+// Old returns entry i's expected value.
+func (v DescriptorView) Old(i int) uint64 {
+	return v.pool.dev.Load(wordOff(v.off, i) + wordOldOff)
+}
+
+// New returns entry i's desired value.
+func (v DescriptorView) New(i int) uint64 {
+	return v.pool.dev.Load(wordOff(v.off, i) + wordNewOff)
+}
+
+// Policy returns entry i's recycling policy.
+func (v DescriptorView) Policy(i int) Policy {
+	return Policy(v.pool.dev.Load(wordOff(v.off, i)+wordMetaOff) & metaPolicyMask)
+}
+
+// OldFieldOffset returns the NVRAM offset of entry i's old-value field,
+// for custom finalizers that interlock frees with a durable erase of the
+// field (see FreeWithBarrier).
+func (v DescriptorView) OldFieldOffset(i int) nvram.Offset {
+	return wordOff(v.off, i) + wordOldOff
+}
+
+// NewFieldOffset is OldFieldOffset for the new-value field.
+func (v DescriptorView) NewFieldOffset(i int) nvram.Offset {
+	return wordOff(v.off, i) + wordNewOff
+}
+
+// FreeBlock releases an allocator block from a finalize callback. It is
+// exported on the view so custom callbacks can mix object-specific
+// destructor work with the default freeing.
+func (v DescriptorView) FreeBlock(off nvram.Offset) error {
+	if v.pool.alloc == nil {
+		return errors.New("core: pool has no allocator")
+	}
+	return v.pool.alloc.Free(off)
+}
+
+// applyPolicies is the default finalizer: Table 1 semantics.
+//
+// Each free interlocks with the descriptor entry that names the block:
+// the entry's value field is erased durably after the allocation bit is
+// cleared but before the block can be reallocated (FreeWithBarrier). A
+// crash therefore either leaves the entry intact — recovery replays the
+// free, which is an idempotent no-op on the already-clear bit, harmless
+// because no reallocation can have happened — or finds the entry erased
+// and the block fully freed. The block is never leaked and never freed
+// out from under a new owner.
+func (v DescriptorView) applyPolicies(succeeded bool) {
+	for i := 0; i < v.n; i++ {
+		var victim uint64
+		var field nvram.Offset
+		w := wordOff(v.off, i)
+		switch v.Policy(i) {
+		case PolicyNone:
+			continue
+		case PolicyFreeOne:
+			if succeeded {
+				victim, field = v.Old(i), w+wordOldOff
+			} else {
+				victim, field = v.New(i), w+wordNewOff
+			}
+		case PolicyFreeNewOnFailure:
+			if !succeeded {
+				victim, field = v.New(i), w+wordNewOff
+			}
+		case PolicyFreeOldOnSuccess:
+			if succeeded {
+				victim, field = v.Old(i), w+wordOldOff
+			}
+		}
+		if victim == 0 || !IsClean(victim) || v.pool.alloc == nil {
+			continue
+		}
+		// Ignore the error: finalize may rerun after a crash, making a
+		// second free of the same block expected rather than a bug.
+		_ = v.pool.alloc.FreeWithBarrier(victim, func() {
+			v.pool.dev.Store(field, 0)
+			if v.pool.mode == Persistent {
+				v.pool.dev.Flush(field)
+			}
+		})
+	}
+}

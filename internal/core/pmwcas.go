@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pmwcas/internal/nvram"
+)
+
+// This file implements the two-phase PMwCAS execution of paper §4
+// (Algorithms 2 and 3): RDCSS descriptor installation, cooperative
+// helping, the precommit that persists target words before the status
+// flips, and Phase 2 roll-forward/roll-back.
+
+// Execute runs the PMwCAS (paper §2.2, Algorithm 2). It returns true if
+// all target words were atomically replaced by their new values; on false
+// no new value is (or ever was) visible to any thread. In Persistent mode
+// the outcome survives power failure: once Execute returns true the
+// operation is durably committed.
+//
+// After Execute the descriptor is consumed; using it again is an error.
+func (d *Descriptor) Execute() (bool, error) {
+	if d.done {
+		return false, ErrDescriptorDone
+	}
+	if d.n == 0 {
+		return false, fmt.Errorf("core: executing empty descriptor")
+	}
+	d.done = true
+	p := d.h.pool
+
+	// The descriptor — contents and Undecided status — must be durable
+	// before the first descriptor pointer becomes visible: recovery
+	// replays whatever the pool says was in flight, so the pool must not
+	// name an operation whose definition is not on NVRAM yet (§4.4).
+	//
+	// Order matters within the descriptor itself: entries are persisted
+	// first, while the status is still Free — a crash inside that flush
+	// recovers through the Free-with-entries path, which at worst
+	// releases reserved memory. Only once every entry is durable does the
+	// status flip to Undecided (flushed with the count in the header
+	// line), arming the roll-back path.
+	p.flushEntries(d.off)
+	p.dev.Fence()
+	p.dev.Store(d.off+descStatusOff, StatusUndecided)
+	p.flushHeader(d.off)
+	p.dev.Fence()
+
+	d.h.guard.Enter()
+	ok := p.exec(d.off, false)
+	d.h.guard.Exit()
+
+	if ok {
+		p.stats.succeeded.Add(1)
+	} else {
+		p.stats.failed.Add(1)
+	}
+	p.retire(d.off, d.idx, ok)
+	return ok, nil
+}
+
+// installOrder returns the descriptor's entry indexes sorted by target
+// address. Every thread — owner or helper — computes the same order, so
+// all Phase-1 acquisitions happen in one global order and overlapping
+// operations cannot deadlock each other's help chains (§2.2). The order
+// lives only on this thread's stack; the durable entries never move,
+// which keeps torn-flush recovery sound.
+func (p *Pool) installOrder(mdesc nvram.Offset, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return p.dev.Load(wordOff(mdesc, order[a])+wordAddrOff) <
+			p.dev.Load(wordOff(mdesc, order[b])+wordAddrOff)
+	})
+	return order
+}
+
+// exec is the cooperative core of Algorithm 2, runnable by the owner and
+// by any helper that encountered the descriptor. It is idempotent: any
+// number of threads may execute it concurrently for the same descriptor
+// and exactly one outcome is installed.
+func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
+	if helping {
+		p.stats.helps.Add(1)
+	}
+	n := int(p.dev.Load(mdesc+descCountOff) & countMask)
+
+	// ----- Phase 1: install a descriptor pointer in every target word,
+	// in global address order.
+	if p.readStatus(mdesc) == StatusUndecided {
+		st := StatusSucceeded
+	words:
+		for _, i := range p.installOrder(mdesc, n) {
+			w := wordOff(mdesc, i)
+			addr := p.dev.Load(w + wordAddrOff)
+			old := p.dev.Load(w + wordOldOff)
+			for {
+				rval := p.installMwCASDescriptor(w, addr, old, mdesc)
+				switch {
+				case rval == old,
+					rval&MwCASFlag != 0 && rval&AddressMask == mdesc:
+					// Installed by us or a helper.
+					continue words
+				case rval&MwCASFlag != 0:
+					// Clashed with another in-progress PMwCAS: make sure
+					// what we saw is durable, help it finish, retry ours.
+					if rval&DirtyFlag != 0 {
+						p.persist(addr, rval)
+					}
+					p.exec(rval&AddressMask&^DirtyFlag, true)
+					continue
+				case rval&DirtyFlag != 0:
+					// A plain value that merely is not persisted yet; after
+					// persisting it may well equal the expected value.
+					p.persist(addr, rval)
+					continue
+				default:
+					// A clean value different from what we expect: lost.
+					st = StatusFailed
+					break words
+				}
+			}
+		}
+
+		// Precommit (§4.2.2): all descriptor pointers must be durable
+		// before the status flips — Phase 2 exposes new values that other
+		// threads may persist decisions on, so recovery must already be
+		// able to see (and roll forward) every word this operation covers.
+		if st == StatusSucceeded && p.mode == Persistent {
+			for i := 0; i < n; i++ {
+				w := wordOff(mdesc, i)
+				addr := p.dev.Load(w + wordAddrOff)
+				p.persist(addr, mdesc|MwCASFlag|DirtyFlag)
+			}
+		}
+
+		// Decide. Exactly one thread's CAS moves Undecided to a final
+		// status; everyone else observes the winner's decision.
+		p.dev.CAS(mdesc+descStatusOff, StatusUndecided, st|p.dirty)
+	}
+
+	// Persist the decision before Phase 2 (§4.3): once any new value is
+	// visible, recovery must roll forward, which it can only know from a
+	// durable status.
+	if p.mode == Persistent {
+		if cur := p.dev.Load(mdesc + descStatusOff); cur&DirtyFlag != 0 {
+			Persist(p.dev, mdesc+descStatusOff, cur)
+		}
+	}
+	succeeded := p.readStatus(mdesc) == StatusSucceeded
+
+	// ----- Phase 2: replace descriptor pointers with final values (new on
+	// success, old on failure/rollback).
+	for i := 0; i < n; i++ {
+		w := wordOff(mdesc, i)
+		addr := p.dev.Load(w + wordAddrOff)
+		var val uint64
+		if succeeded {
+			val = p.dev.Load(w + wordNewOff)
+		} else {
+			val = p.dev.Load(w + wordOldOff)
+		}
+		expected := mdesc | MwCASFlag | p.dirty
+		if !p.dev.CAS(addr, expected, val|p.dirty) && p.dirty != 0 {
+			// The descriptor pointer may sit there already persisted
+			// (dirty bit cleared by a reader); swing that form too.
+			p.dev.CAS(addr, expected&^DirtyFlag, val|p.dirty)
+		}
+		p.persist(addr, val|p.dirty)
+	}
+	return succeeded
+}
+
+// installMwCASDescriptor attempts to place a pointer to the descriptor in
+// one target word via RDCSS (Algorithm 3, install_mwcas_descriptor). It
+// returns the word's prior content: the expected old value on success,
+// our descriptor pointer if a helper won the install, or whatever
+// conflicting value/descriptor was found.
+//
+// RDCSS — install a word-descriptor pointer first, then upgrade it to the
+// full-descriptor pointer only if status is still Undecided — prevents a
+// delayed thread from re-installing a descriptor for an operation that
+// already finished, which would overwrite a later operation's result and
+// break linearizability (§4.2).
+func (p *Pool) installMwCASDescriptor(wdesc, addr nvram.Offset, old uint64, mdesc nvram.Offset) uint64 {
+	ptr := wdesc | RDCSSFlag
+	for {
+		cur := p.dev.Load(addr)
+		switch {
+		case cur == old:
+			if !p.dev.CAS(addr, old, ptr) {
+				continue // value changed under us; reevaluate
+			}
+			p.completeInstall(wdesc, addr, old, mdesc)
+			return old
+		case cur&RDCSSFlag != 0:
+			// Another thread's RDCSS is mid-flight here: finish it for
+			// them, then retry ours (lock-free helping).
+			p.helpCompleteInstall(cur & AddressMask)
+		case cur&DirtyFlag != 0 && cur&MwCASFlag == 0:
+			// Plain-but-dirty value: persist and reevaluate; it may equal
+			// the expected value once clean.
+			p.persist(addr, cur)
+		default:
+			return cur
+		}
+	}
+}
+
+// completeInstall finishes an RDCSS whose word descriptor we know
+// first-hand (Algorithm 3, complete_install): upgrade to the
+// full-descriptor pointer if the operation is still undecided, otherwise
+// put the old value back.
+func (p *Pool) completeInstall(wdesc, addr nvram.Offset, old uint64, mdesc nvram.Offset) {
+	var desired uint64
+	if p.readStatus(mdesc) == StatusUndecided {
+		desired = mdesc | MwCASFlag | p.dirty
+	} else {
+		desired = old
+	}
+	p.dev.CAS(addr, wdesc|RDCSSFlag, desired)
+}
+
+// helpCompleteInstall finishes an RDCSS found in a word, reading the word
+// descriptor's fields from NVRAM. Safe under the epoch guard: the parent
+// descriptor cannot be recycled while we might dereference it.
+func (p *Pool) helpCompleteInstall(wdesc nvram.Offset) {
+	addr := p.dev.Load(wdesc + wordAddrOff)
+	old := p.dev.Load(wdesc + wordOldOff)
+	parent := p.dev.Load(wdesc+wordMetaOff) >> metaParentShift
+	p.completeInstall(wdesc, addr, old, parent)
+}
+
+// Read performs pmwcas_read (Algorithm 3): a read of a word that may be a
+// PMwCAS target. It never returns descriptor pointers — encountering an
+// in-flight operation, it helps complete it and retries — and in
+// Persistent mode it never returns a value that is not durable.
+//
+// The caller's epoch guard is entered for the duration (helping may
+// dereference descriptors).
+func (h *Handle) Read(addr nvram.Offset) uint64 {
+	h.guard.Enter()
+	v := h.pool.read(addr)
+	h.guard.Exit()
+	return v
+}
+
+func (p *Pool) read(addr nvram.Offset) uint64 {
+	for {
+		v := p.dev.Load(addr)
+		if v&RDCSSFlag != 0 {
+			p.helpCompleteInstall(v & AddressMask)
+			continue
+		}
+		if v&DirtyFlag != 0 {
+			p.persist(addr, v)
+			v &^= DirtyFlag
+		}
+		if v&MwCASFlag != 0 {
+			p.stats.reads.Add(1)
+			p.exec(v&AddressMask, true)
+			continue
+		}
+		return v
+	}
+}

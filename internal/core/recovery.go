@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"pmwcas/internal/nvram"
+)
+
+// RecoveryStats summarizes one recovery pass over the descriptor pool.
+type RecoveryStats struct {
+	Scanned       int // descriptors examined (the whole pool)
+	RolledForward int // Succeeded descriptors whose new values were (re)installed
+	RolledBack    int // Undecided/Failed descriptors reset to old values
+	Reclaimed     int // never-executed (Free) descriptors with reserved memory released
+	WordsRepaired int // target words that still held descriptor pointers
+}
+
+// Recover completes or rolls back every operation that was in flight at
+// the crash (paper §4.4). It must run single-threaded, after the
+// allocator's own recovery (§5.2) and before any application thread
+// touches PMwCAS-managed words. Finalize callbacks referenced by
+// descriptors must already be registered.
+//
+// The rules, per descriptor status in the durable image:
+//
+//   - Succeeded: roll forward — any target word still holding a pointer
+//     to this descriptor (or to one of its word descriptors) gets its new
+//     value; success-side recycling policies run.
+//   - Undecided or Failed: roll back — such words get their old value;
+//     failure-side policies run.
+//   - Free with a non-zero durable entry count: the crash hit between
+//     ReserveEntry and Execute; the operation never existed, but the
+//     descriptor may own reserved memory — failure-side policies run so
+//     nothing leaks (§5.2).
+//
+// The Free path deliberately does not repair target words. That is sound
+// because of an execution-order invariant: descriptor pointers are only
+// installed after the descriptor's Undecided status has been flushed
+// (Execute persists entries, then the header, then fences, before
+// Phase 1 starts). A durable Free status therefore proves no word
+// anywhere can durably hold this descriptor's pointer — even with
+// opportunistic cache eviction persisting lines the protocol never
+// flushed, since the status flush strictly precedes every install.
+//
+// Every descriptor ends Free with zero count, ready for reuse. Recovery
+// is idempotent: a crash during recovery is repaired by running it again.
+func (p *Pool) Recover() (RecoveryStats, error) {
+	var st RecoveryStats
+	if p.mode != Persistent {
+		return st, fmt.Errorf("core: Recover on a %s pool", p.mode)
+	}
+	for i := 0; i < p.nDesc; i++ {
+		st.Scanned++
+		d := p.descOff(i)
+		status := p.readStatus(d)
+		cw := p.dev.Load(d + descCountOff)
+		n := int(cw & countMask)
+		if n > p.kWord {
+			// A torn count cannot occur (count and status share a flushed
+			// line and are zeroed together), but recovery of a corrupted
+			// image must not walk wild entries.
+			n = 0
+		}
+
+		switch status {
+		case StatusFree:
+			if n > 0 {
+				p.finalize(d, false)
+				st.Reclaimed++
+			}
+		case StatusUndecided, StatusFailed, StatusSucceeded:
+			succeeded := status == StatusSucceeded
+			st.WordsRepaired += p.repairWords(d, n, succeeded)
+			p.finalize(d, succeeded)
+			if succeeded {
+				st.RolledForward++
+			} else {
+				st.RolledBack++
+			}
+		default:
+			return st, fmt.Errorf("core: descriptor %d has corrupt status %#x", i, status)
+		}
+	}
+	p.rebuildFreeList()
+	return st, nil
+}
+
+// repairWords applies the final value to every target word that still
+// holds a pointer into this descriptor, and persists it. It returns how
+// many words needed repair.
+func (p *Pool) repairWords(d nvram.Offset, n int, succeeded bool) int {
+	repaired := 0
+	for i := 0; i < n; i++ {
+		w := wordOff(d, i)
+		addr := p.dev.Load(w + wordAddrOff)
+		if addr == 0 || !offsetOK(addr) || addr%nvram.WordSize != 0 {
+			continue
+		}
+		cur := p.dev.Load(addr)
+		payload := cur & AddressMask
+		isMine := (cur&MwCASFlag != 0 && payload == d) ||
+			(cur&RDCSSFlag != 0 && payload == w)
+		if !isMine {
+			continue
+		}
+		var val uint64
+		if succeeded {
+			val = p.dev.Load(w + wordNewOff)
+		} else {
+			val = p.dev.Load(w + wordOldOff)
+		}
+		p.dev.Store(addr, val)
+		p.dev.Flush(addr)
+		repaired++
+	}
+	return repaired
+}
+
+// rebuildFreeList repopulates the volatile free list from descriptor
+// statuses. Called at the end of recovery, when everything is Free.
+func (p *Pool) rebuildFreeList() {
+	p.freeMu.Lock()
+	defer p.freeMu.Unlock()
+	p.freeList = p.freeList[:0]
+	for i := p.nDesc - 1; i >= 0; i-- {
+		if p.readStatus(p.descOff(i)) == StatusFree {
+			p.freeList = append(p.freeList, i)
+		}
+	}
+}
+
+// DumpDescriptor formats a descriptor's durable state for debugging.
+func (p *Pool) DumpDescriptor(i int) string {
+	d := p.descOff(i)
+	cw := p.dev.Load(d + descCountOff)
+	n := int(cw & countMask)
+	if n > p.kWord {
+		n = p.kWord
+	}
+	s := fmt.Sprintf("desc %d @%#x status=%s count=%d cb=%d",
+		i, d, statusName(p.dev.Load(d+descStatusOff)), n, cw>>callbackShift&callbackIDMask)
+	for j := 0; j < n; j++ {
+		w := wordOff(d, j)
+		s += fmt.Sprintf("\n  [%d] addr=%#x old=%#x new=%#x policy=%s",
+			j, p.dev.Load(w+wordAddrOff), p.dev.Load(w+wordOldOff),
+			p.dev.Load(w+wordNewOff), Policy(p.dev.Load(w+wordMetaOff)&metaPolicyMask))
+	}
+	return s
+}
+
+// SpaceAnalysis reports the pool's NVRAM footprint (paper Appendix B):
+// bytes per descriptor and total pool bytes for the configured capacity.
+func (p *Pool) SpaceAnalysis() (bytesPerDescriptor, totalBytes uint64) {
+	return p.size, p.size * uint64(p.nDesc)
+}

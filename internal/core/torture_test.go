@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmwcas/internal/alloc"
+	"pmwcas/internal/nvram"
+)
+
+// Torture tests: random operation sequences with crashes injected at
+// random device steps, across many seeds, with opportunistic cache-line
+// eviction enabled — the adversarial middle ground between the strict
+// model (nothing persists without a flush) and real hardware (anything
+// may persist at any time). Eviction is dangerous for naive protocols:
+// it persists *descriptor pointers and dirty values the algorithm never
+// flushed*, and recovery must cope.
+
+// tortureEnv is an env with eviction enabled.
+func tortureEnv(t testing.TB, evict int) *env {
+	t.Helper()
+	e := &env{spec: []alloc.Class{{BlockSize: 64, Count: 256}}}
+	poolBytes := PoolSize(testDescs, testWords)
+	aBytes := alloc.MetaSize(e.spec, 8)
+	opts := []nvram.Option{}
+	if evict > 0 {
+		opts = append(opts, nvram.WithEviction(evict))
+	}
+	e.dev = nvram.New(poolBytes+aBytes+1<<16, opts...)
+	l := nvram.NewLayout(e.dev)
+	e.poolReg = l.Carve(poolBytes)
+	e.aReg = l.Carve(aBytes)
+	e.data = l.Carve(1 << 12)
+
+	var err error
+	e.alloc, err = alloc.New(e.dev, e.aReg, e.spec, 8)
+	if err != nil {
+		t.Fatalf("alloc.New: %v", err)
+	}
+	e.pool, err = NewPool(Config{
+		Device: e.dev, Region: e.poolReg,
+		DescriptorCount: testDescs, WordsPerDescriptor: testWords,
+		Mode: Persistent, Allocator: e.alloc,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return e
+}
+
+// TestTortureTransfersWithRandomCrashes runs conservation transfers with
+// a crash at a random step, recovery, and an invariant check — repeated
+// across seeds, with and without opportunistic eviction.
+func TestTortureTransfersWithRandomCrashes(t *testing.T) {
+	const nWords = 6
+	const perWord = 100
+
+	for _, evict := range []int{0, 3} {
+		for seed := int64(1); seed <= 30; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			e := tortureEnv(t, evict)
+			vals := make([]uint64, nWords)
+			addrs := make([]nvram.Offset, nWords)
+			for i := range addrs {
+				addrs[i] = e.data.Base + nvram.Offset(i)*nvram.WordSize
+				e.dev.Store(addrs[i], perWord)
+			}
+			e.dev.FlushAll()
+			_ = vals
+
+			h := e.pool.NewHandle()
+			crashAt := rng.Intn(600) + 1
+			step := 0
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(crashPanic); !ok {
+							panic(r)
+						}
+					}
+				}()
+				e.dev.SetHook(func(op string, off nvram.Offset) {
+					step++
+					if step == crashAt {
+						panic(crashPanic{step: crashAt})
+					}
+				})
+				defer e.dev.SetHook(nil)
+				for op := 0; op < 40; op++ {
+					from := rng.Intn(nWords)
+					to := (from + 1 + rng.Intn(nWords-1)) % nWords
+					vf := h.Read(addrs[from])
+					vt := h.Read(addrs[to])
+					if vf == 0 {
+						continue
+					}
+					d, err := h.AllocateDescriptor(0)
+					if err != nil {
+						e.pool.ReclaimPause()
+						continue
+					}
+					d.AddWord(addrs[from], vf, vf-1)
+					d.AddWord(addrs[to], vt, vt+1)
+					d.Execute()
+					if op%8 == 0 {
+						e.pool.Epochs().Advance()
+						e.pool.Epochs().Collect()
+					}
+				}
+			}()
+			e.dev.SetHook(nil)
+
+			st := e.reopen(t)
+			h2 := e.pool.NewHandle()
+			var sum uint64
+			for _, a := range addrs {
+				sum += h2.Read(a)
+			}
+			if sum != nWords*perWord {
+				t.Fatalf("seed %d evict %d crash@%d: sum = %d, want %d (recovery %+v)",
+					seed, evict, crashAt, sum, nWords*perWord, st)
+			}
+			if free := e.pool.FreeDescriptors(); free != testDescs {
+				t.Fatalf("seed %d: %d descriptors free after recovery", seed, free)
+			}
+		}
+	}
+}
+
+// TestTortureDoubleCrash injects a second crash during recovery itself,
+// then recovers again — for random operation positions and recovery
+// steps.
+func TestTortureDoubleCrash(t *testing.T) {
+	const nWords = 4
+	const perWord = 50
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		e := tortureEnv(t, 0)
+		addrs := make([]nvram.Offset, nWords)
+		for i := range addrs {
+			addrs[i] = e.data.Base + nvram.Offset(i)*nvram.WordSize
+			e.dev.Store(addrs[i], perWord)
+		}
+		e.dev.FlushAll()
+		h := e.pool.NewHandle()
+
+		// First crash mid-operation.
+		crashAt := rng.Intn(80) + 1
+		step := 0
+		func() {
+			defer func() { recover() }()
+			e.dev.SetHook(func(op string, off nvram.Offset) {
+				step++
+				if step == crashAt {
+					panic(crashPanic{})
+				}
+			})
+			defer e.dev.SetHook(nil)
+			for op := 0; op < 10; op++ {
+				d, err := h.AllocateDescriptor(0)
+				if err != nil {
+					continue
+				}
+				v0 := h.Read(addrs[0])
+				v1 := h.Read(addrs[1])
+				if v0 == 0 {
+					d.Discard()
+					continue
+				}
+				d.AddWord(addrs[0], v0, v0-1)
+				d.AddWord(addrs[1], v1, v1+1)
+				d.Execute()
+			}
+		}()
+		e.dev.SetHook(nil)
+		e.dev.Crash()
+
+		// Second crash mid-recovery.
+		pool2, err := NewPool(Config{
+			Device: e.dev, Region: e.poolReg,
+			DescriptorCount: testDescs, WordsPerDescriptor: testWords,
+			Mode: Persistent, Allocator: e.alloc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recCrash := rng.Intn(40) + 1
+		step = 0
+		func() {
+			defer func() { recover() }()
+			e.dev.SetHook(func(op string, off nvram.Offset) {
+				step++
+				if step == recCrash {
+					panic(crashPanic{})
+				}
+			})
+			defer e.dev.SetHook(nil)
+			pool2.Recover()
+		}()
+		e.dev.SetHook(nil)
+
+		// Final, clean recovery.
+		st := e.reopen(t)
+		h2 := e.pool.NewHandle()
+		sum := h2.Read(addrs[0]) + h2.Read(addrs[1]) + h2.Read(addrs[2]) + h2.Read(addrs[3])
+		if sum != nWords*perWord {
+			t.Fatalf("seed %d: sum = %d after double crash (recovery %+v)", seed, sum, st)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package epoch implements epoch-based resource reclamation for lock-free
+// data structures (paper §5.1, citing [19]).
+//
+// Threads register once and obtain a Guard. A thread must hold a
+// protection (Guard.Enter / Guard.Exit) around any window in which it may
+// dereference memory that another thread could concurrently retire. When
+// an object is removed from a structure it is not freed immediately;
+// instead it is Deferred with the current global epoch recorded as its
+// recycle epoch. The object's callback runs only after every registered
+// thread has been observed outside any epoch older than or equal to the
+// recycle epoch — at that point no thread can still hold a reference.
+//
+// A key property the paper relies on (§5.1): garbage lists do not need to
+// be persistent. They exist only to protect concurrent readers while the
+// system is up; after a crash, recovery is single-threaded and scans the
+// durable descriptor pool directly.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// idle marks a guard that is not inside any epoch. Epochs start at 1 so 0
+// can never be a legitimate protected epoch.
+const idle = uint64(0)
+
+// Callback is invoked when a deferred object becomes unreachable by all
+// threads. Callbacks run on whichever goroutine triggers reclamation; they
+// must not block and must tolerate running long after the Defer call.
+type Callback func()
+
+// Manager is a global epoch clock plus the set of registered guards.
+type Manager struct {
+	global atomic.Uint64
+
+	mu     sync.Mutex
+	guards []*Guard
+
+	// garbage is guarded by gmu. Entries are appended by Defer and drained
+	// front-first by Collect; entries are in non-decreasing epoch order
+	// because Defer stamps the current global epoch.
+	gmu     sync.Mutex
+	garbage []deferred
+
+	deferred atomic.Uint64 // total Defer calls, for introspection
+	freed    atomic.Uint64 // callbacks run
+}
+
+type deferred struct {
+	epoch uint64
+	fn    Callback
+}
+
+// NewManager creates a manager with the epoch clock at 1.
+func NewManager() *Manager {
+	m := &Manager{}
+	m.global.Store(1)
+	return m
+}
+
+// Register adds a participant and returns its Guard. Guards are
+// goroutine-affine in the same way the paper's threads are: a Guard must
+// not be used concurrently from multiple goroutines.
+func (m *Manager) Register() *Guard {
+	g := &Guard{mgr: m}
+	m.mu.Lock()
+	m.guards = append(m.guards, g)
+	m.mu.Unlock()
+	return g
+}
+
+// Epoch returns the current global epoch.
+func (m *Manager) Epoch() uint64 { return m.global.Load() }
+
+// Advance increments the global epoch. The paper leaves the advancing
+// policy to the user ("advanced by user-defined events, e.g., by memory
+// usage or physical time"); callers here advance either periodically or
+// every k Defers.
+func (m *Manager) Advance() uint64 { return m.global.Add(1) }
+
+// Defer schedules fn to run once no guard can still be inside an epoch <=
+// the current one. fn must be non-nil.
+func (m *Manager) Defer(fn Callback) {
+	e := m.global.Load()
+	m.gmu.Lock()
+	m.garbage = append(m.garbage, deferred{epoch: e, fn: fn})
+	m.gmu.Unlock()
+	m.deferred.Add(1)
+}
+
+// minProtected returns the smallest epoch any guard is currently inside,
+// or ^0 if every guard is idle.
+func (m *Manager) minProtected() uint64 {
+	min := ^uint64(0)
+	m.mu.Lock()
+	guards := m.guards
+	m.mu.Unlock()
+	for _, g := range guards {
+		if e := g.epoch.Load(); e != idle && e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Collect runs the callbacks of every deferred object whose recycle epoch
+// is strictly below the minimum protected epoch, and returns how many ran.
+// An object deferred at epoch e is safe once every thread is idle or in an
+// epoch > e; advancing the clock after retiring guarantees progress.
+func (m *Manager) Collect() int {
+	safeBelow := m.minProtected()
+
+	// Detach the reclaimable prefix under the lock, run callbacks outside
+	// it: a callback may itself Defer (e.g., a destructor retiring a child
+	// object) without self-deadlock.
+	m.gmu.Lock()
+	i := 0
+	for i < len(m.garbage) && m.garbage[i].epoch < safeBelow {
+		i++
+	}
+	ready := m.garbage[:i:i]
+	m.garbage = m.garbage[i:]
+	m.gmu.Unlock()
+
+	for _, d := range ready {
+		d.fn()
+	}
+	m.freed.Add(uint64(len(ready)))
+	return len(ready)
+}
+
+// Drain advances the epoch and collects until the garbage list is empty.
+// It must only be called while no guard is inside an epoch (e.g., at
+// shutdown); otherwise it spins forever on the protected prefix.
+func (m *Manager) Drain() int {
+	total := 0
+	for {
+		m.Advance()
+		n := m.Collect()
+		total += n
+		m.gmu.Lock()
+		empty := len(m.garbage) == 0
+		m.gmu.Unlock()
+		if empty {
+			return total
+		}
+		if n == 0 {
+			// Nothing reclaimable and garbage remains: a guard is active.
+			panic("epoch: Drain called with active guards")
+		}
+	}
+}
+
+// Pending returns the number of deferred objects not yet reclaimed.
+func (m *Manager) Pending() int {
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
+	return len(m.garbage)
+}
+
+// Stats returns cumulative (deferred, freed) counts.
+func (m *Manager) Stats() (deferredN, freedN uint64) {
+	return m.deferred.Load(), m.freed.Load()
+}
+
+// A Guard is one thread's participation handle.
+type Guard struct {
+	mgr   *Manager
+	epoch atomic.Uint64 // idle or the epoch this guard is pinned in
+	depth int           // reentrancy count; single-goroutine access only
+}
+
+// Enter pins the guard in the current global epoch. Enter/Exit pairs may
+// nest; only the outermost pair changes the pinned epoch. While pinned,
+// memory retired at this epoch or later cannot be reclaimed.
+func (g *Guard) Enter() {
+	if g.depth == 0 {
+		g.epoch.Store(g.mgr.global.Load())
+	}
+	g.depth++
+}
+
+// Exit releases the outermost protection. It panics on unbalanced use —
+// that is always a structural bug in the caller.
+func (g *Guard) Exit() {
+	if g.depth == 0 {
+		panic("epoch: Exit without matching Enter")
+	}
+	g.depth--
+	if g.depth == 0 {
+		g.epoch.Store(idle)
+	}
+}
+
+// Active reports whether the guard currently holds a protection.
+func (g *Guard) Active() bool { return g.depth > 0 }
+
+// Manager returns the manager this guard is registered with.
+func (g *Guard) Manager() *Manager { return g.mgr }

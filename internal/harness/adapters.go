@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"pmwcas/internal/bwtree"
+	"pmwcas/internal/skiplist"
+)
+
+// isExpected reports whether an operation error is a legitimate workload
+// outcome (key already there / not there) rather than a failure.
+func isExpected(err error) bool {
+	return err == nil ||
+		errors.Is(err, skiplist.ErrKeyExists) || errors.Is(err, skiplist.ErrNotFound) ||
+		errors.Is(err, bwtree.ErrKeyExists) || errors.Is(err, bwtree.ErrNotFound)
+}
+
+func isNotFound(err error) bool {
+	return errors.Is(err, skiplist.ErrNotFound) || errors.Is(err, bwtree.ErrNotFound)
+}
+
+// SkipListFactory adapts the PMwCAS skip list (persistent or volatile,
+// depending on the pool behind it).
+type SkipListFactory struct {
+	List  *skiplist.List
+	Label string
+	seed  atomic.Int64
+}
+
+// Name implements IndexFactory.
+func (f *SkipListFactory) Name() string { return f.Label }
+
+// NewOps implements IndexFactory.
+func (f *SkipListFactory) NewOps(seed int64) IndexOps {
+	return skipListOps{f.List.NewHandle(seed + f.seed.Add(1000003))}
+}
+
+type skipListOps struct{ h *skiplist.Handle }
+
+func (o skipListOps) Insert(k, v uint64) error     { return o.h.Insert(k, v) }
+func (o skipListOps) Get(k uint64) (uint64, error) { return o.h.Get(k) }
+func (o skipListOps) Update(k, v uint64) error     { return o.h.Update(k, v) }
+func (o skipListOps) Delete(k uint64) error        { return o.h.Delete(k) }
+func (o skipListOps) Scan(from, to uint64, fn func(uint64, uint64) bool) error {
+	return o.h.Scan(from, to, func(e skiplist.Entry) bool { return fn(e.Key, e.Value) })
+}
+
+// CASListFactory adapts the single-word-CAS baseline skip list.
+type CASListFactory struct {
+	List  *skiplist.CASList
+	Label string
+	seed  atomic.Int64
+}
+
+// Name implements IndexFactory.
+func (f *CASListFactory) Name() string { return f.Label }
+
+// NewOps implements IndexFactory.
+func (f *CASListFactory) NewOps(seed int64) IndexOps {
+	return casListOps{f.List.NewHandle(seed + f.seed.Add(1000003))}
+}
+
+type casListOps struct{ h *skiplist.CASHandle }
+
+func (o casListOps) Insert(k, v uint64) error     { return o.h.Insert(k, v) }
+func (o casListOps) Get(k uint64) (uint64, error) { return o.h.Get(k) }
+func (o casListOps) Update(k, v uint64) error     { return o.h.Update(k, v) }
+func (o casListOps) Delete(k uint64) error        { return o.h.Delete(k) }
+func (o casListOps) Scan(from, to uint64, fn func(uint64, uint64) bool) error {
+	return o.h.Scan(from, to, func(e skiplist.Entry) bool { return fn(e.Key, e.Value) })
+}
+
+// ReverseScanner is implemented by index handles that support reverse
+// range scans (experiment E8).
+type ReverseScanner interface {
+	ScanReverse(from, to uint64, fn func(key, value uint64) bool) error
+}
+
+func (o skipListOps) ScanReverse(from, to uint64, fn func(uint64, uint64) bool) error {
+	return o.h.ScanReverse(from, to, func(e skiplist.Entry) bool { return fn(e.Key, e.Value) })
+}
+
+func (o casListOps) ScanReverse(from, to uint64, fn func(uint64, uint64) bool) error {
+	return o.h.ScanReverse(from, to, func(e skiplist.Entry) bool { return fn(e.Key, e.Value) })
+}
+
+// BwTreeFactory adapts the Bw-tree (any SMO mode).
+type BwTreeFactory struct {
+	Tree  *bwtree.Tree
+	Label string
+}
+
+// Name implements IndexFactory.
+func (f *BwTreeFactory) Name() string { return f.Label }
+
+// NewOps implements IndexFactory.
+func (f *BwTreeFactory) NewOps(seed int64) IndexOps {
+	return bwTreeOps{f.Tree.NewHandle()}
+}
+
+type bwTreeOps struct{ h *bwtree.Handle }
+
+func (o bwTreeOps) Insert(k, v uint64) error     { return o.h.Insert(k, v) }
+func (o bwTreeOps) Get(k uint64) (uint64, error) { return o.h.Get(k) }
+func (o bwTreeOps) Update(k, v uint64) error     { return o.h.Update(k, v) }
+func (o bwTreeOps) Delete(k uint64) error        { return o.h.Delete(k) }
+func (o bwTreeOps) Scan(from, to uint64, fn func(uint64, uint64) bool) error {
+	return o.h.Scan(from, to, func(e bwtree.Entry) bool { return fn(e.Key, e.Value) })
+}

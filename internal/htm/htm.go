@@ -1,0 +1,269 @@
+// Package htm simulates hardware transactional memory (Intel TSX-style
+// restricted transactional memory) well enough to reproduce the paper's
+// §2.3 comparison: an HTM-based multi-word CAS is simple and fast when
+// uncontended, but "is vulnerable to spurious aborts (e.g., caused by CPU
+// cache size)" and degrades unpredictably, while the software MwCAS
+// "yields similar but much more robust performance".
+//
+// Go cannot execute XBEGIN, so the simulator reproduces the *failure
+// behaviour* that drives the comparison rather than the microarchitecture:
+//
+//   - conflict aborts: two transactions touching the same cache line
+//     cannot both commit; the loser aborts and retries;
+//   - capacity aborts: a transaction whose footprint exceeds the
+//     configured line budget always aborts (TSX read/write sets are
+//     bounded by L1/L2 geometry);
+//   - spurious aborts: every attempt aborts with a configurable
+//     probability, modelling interrupts, TLB shootdowns, and the other
+//     environmental aborts TSX is notorious for;
+//   - lock fallback: after MaxRetries failed attempts the operation takes
+//     a global fallback mutex (standard lock-elision structure), which
+//     serializes it against every concurrent transaction.
+//
+// Abort probabilities are configurable so experiments can sweep them;
+// defaults are calibrated to published TSX measurements (sub-percent
+// spurious abort rates, ~100-line practical write-set budgets).
+package htm
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pmwcas/internal/nvram"
+)
+
+// Config tunes the simulated hardware.
+type Config struct {
+	// MaxLines is the transaction footprint budget in cache lines;
+	// exceeding it is a guaranteed capacity abort. Default 64.
+	MaxLines int
+	// SpuriousAbortProb is the per-attempt probability of an
+	// environmental abort. Default 0.002.
+	SpuriousAbortProb float64
+	// MaxRetries is the number of transactional attempts before falling
+	// back to the global lock. Default 8.
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.MaxLines == 0 {
+		c.MaxLines = 64
+	}
+	if c.SpuriousAbortProb == 0 {
+		c.SpuriousAbortProb = 0.002
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+}
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Commits        uint64
+	ConflictAborts uint64
+	CapacityAborts uint64
+	SpuriousAborts uint64
+	Fallbacks      uint64 // operations that ended up under the global lock
+	FailedCompares uint64 // committed transactions whose compare failed
+}
+
+// TM is a simulated transactional-memory domain over one device. All
+// transactional accesses to a set of words must go through the same TM.
+type TM struct {
+	dev      *nvram.Device
+	cfg      Config
+	lineLock []atomic.Bool // one elision lock per device cache line
+
+	fallback sync.Mutex
+	inFall   atomic.Int32 // readers of the fallback lock word
+
+	stats struct {
+		commits, conflict, capacity, spurious, fallbacks, failedCmp atomic.Uint64
+	}
+}
+
+// New creates a TM domain covering the whole device.
+func New(dev *nvram.Device, cfg Config) *TM {
+	cfg.fill()
+	return &TM{
+		dev:      dev,
+		cfg:      cfg,
+		lineLock: make([]atomic.Bool, dev.Size()/nvram.LineBytes),
+	}
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (tm *TM) Stats() Stats {
+	return Stats{
+		Commits:        tm.stats.commits.Load(),
+		ConflictAborts: tm.stats.conflict.Load(),
+		CapacityAborts: tm.stats.capacity.Load(),
+		SpuriousAborts: tm.stats.spurious.Load(),
+		Fallbacks:      tm.stats.fallbacks.Load(),
+		FailedCompares: tm.stats.failedCmp.Load(),
+	}
+}
+
+// Handle is a per-goroutine context (it owns the abort RNG).
+type Handle struct {
+	tm  *TM
+	rng *rand.Rand
+}
+
+// NewHandle creates a per-goroutine handle.
+func (tm *TM) NewHandle(seed int64) *Handle {
+	return &Handle{tm: tm, rng: rand.New(rand.NewSource(seed))}
+}
+
+// lines returns the distinct, sorted cache-line indexes touched by addrs.
+func (tm *TM) lines(addrs []nvram.Offset) []int {
+	out := make([]int, 0, len(addrs))
+	for _, a := range addrs {
+		l := int(a / nvram.LineBytes)
+		dup := false
+		for _, x := range out {
+			if x == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	// insertion sort: the sets are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// MwCAS atomically compares and swaps the given words using a simulated
+// hardware transaction, falling back to the global lock after repeated
+// aborts. It reports whether all words matched and were replaced.
+func (h *Handle) MwCAS(addrs []nvram.Offset, expected, desired []uint64) bool {
+	tm := h.tm
+	if len(addrs) != len(expected) || len(addrs) != len(desired) {
+		panic("htm: operand length mismatch")
+	}
+	lines := tm.lines(addrs)
+	if len(lines) > tm.cfg.MaxLines {
+		// The footprint can never fit: every attempt capacity-aborts and
+		// the operation goes straight to the fallback path.
+		tm.stats.capacity.Add(uint64(tm.cfg.MaxRetries))
+		return tm.fallbackMwCAS(addrs, expected, desired)
+	}
+
+	for attempt := 0; attempt < tm.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			// Back off between attempts, as production lock-elision code
+			// does: retrying instantly while a conflicting transaction or
+			// a fallback holder is still running just burns the retry
+			// budget and stampedes everyone into the global lock (the
+			// "lemming effect").
+			runtime.Gosched()
+		}
+		if h.rng.Float64() < tm.cfg.SpuriousAbortProb {
+			tm.stats.spurious.Add(1)
+			continue
+		}
+		// Lock elision: a transaction subscribes to the fallback lock and
+		// aborts if any thread holds it.
+		if tm.inFall.Load() != 0 {
+			tm.stats.conflict.Add(1)
+			continue
+		}
+		if ok, committed := tm.tryTxn(lines, addrs, expected, desired); committed {
+			tm.stats.commits.Add(1)
+			if !ok {
+				tm.stats.failedCmp.Add(1)
+			}
+			return ok
+		}
+		tm.stats.conflict.Add(1)
+	}
+	tm.stats.fallbacks.Add(1)
+	return tm.fallbackMwCAS(addrs, expected, desired)
+}
+
+// tryTxn attempts one transactional execution: acquire the footprint's
+// line locks (try-only — blocking would be a conflict abort), apply, and
+// release. committed=false models an abort.
+func (tm *TM) tryTxn(lines []int, addrs []nvram.Offset, expected, desired []uint64) (ok, committed bool) {
+	taken := 0
+	for _, l := range lines {
+		if !tm.lineLock[l].CompareAndSwap(false, true) {
+			break
+		}
+		taken++
+	}
+	if taken != len(lines) {
+		for i := 0; i < taken; i++ {
+			tm.lineLock[lines[i]].Store(false)
+		}
+		return false, false
+	}
+	// Re-check the fallback subscription now that we hold the lines.
+	if tm.inFall.Load() != 0 {
+		for _, l := range lines {
+			tm.lineLock[l].Store(false)
+		}
+		return false, false
+	}
+	ok = true
+	for i, a := range addrs {
+		if tm.dev.Load(a) != expected[i] {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for i, a := range addrs {
+			tm.dev.Store(a, desired[i])
+		}
+	}
+	for _, l := range lines {
+		tm.lineLock[l].Store(false)
+	}
+	return ok, true
+}
+
+// fallbackMwCAS executes under the global lock, waiting out any
+// in-flight transactions on its footprint.
+func (tm *TM) fallbackMwCAS(addrs []nvram.Offset, expected, desired []uint64) bool {
+	tm.fallback.Lock()
+	tm.inFall.Add(1)
+	// Drain transactions that already hold line locks on our footprint.
+	lines := tm.lines(addrs)
+	for _, l := range lines {
+		for tm.lineLock[l].Load() {
+			runtime.Gosched()
+		}
+	}
+	ok := true
+	for i, a := range addrs {
+		if tm.dev.Load(a) != expected[i] {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for i, a := range addrs {
+			tm.dev.Store(a, desired[i])
+		}
+	}
+	tm.inFall.Add(-1)
+	tm.fallback.Unlock()
+	return ok
+}
+
+// Read performs a transactional single-word read (a plain load is enough
+// for the simulation: committed writers are never partially visible at
+// word granularity, and MwCAS users read words individually anyway).
+func (h *Handle) Read(addr nvram.Offset) uint64 {
+	return h.tm.dev.Load(addr)
+}

@@ -1,0 +1,166 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"pmwcas/internal/nvram"
+)
+
+func newTM(t testing.TB, cfg Config) (*nvram.Device, *TM) {
+	t.Helper()
+	dev := nvram.New(1 << 16)
+	return dev, New(dev, cfg)
+}
+
+func TestMwCASBasics(t *testing.T) {
+	dev, tm := newTM(t, Config{})
+	h := tm.NewHandle(1)
+	addrs := []nvram.Offset{64, 128, 192}
+	dev.Store(64, 1)
+	dev.Store(128, 2)
+	dev.Store(192, 3)
+
+	if !h.MwCAS(addrs, []uint64{1, 2, 3}, []uint64{10, 20, 30}) {
+		t.Fatal("MwCAS failed with matching expected values")
+	}
+	for i, a := range addrs {
+		if got := dev.Load(a); got != uint64((i+1)*10) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+	if h.MwCAS(addrs, []uint64{1, 2, 3}, []uint64{0, 0, 0}) {
+		t.Fatal("MwCAS succeeded with stale expected values")
+	}
+	if got := dev.Load(64); got != 10 {
+		t.Fatalf("failed MwCAS mutated a word: %d", got)
+	}
+	s := tm.Stats()
+	if s.Commits < 2 || s.FailedCompares != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCapacityAbortGoesToFallback(t *testing.T) {
+	dev, tm := newTM(t, Config{MaxLines: 2, MaxRetries: 3})
+	h := tm.NewHandle(1)
+	// Footprint of 3 distinct lines with a 2-line budget.
+	addrs := []nvram.Offset{0, 64, 128}
+	dev.FlushAll()
+	if !h.MwCAS(addrs, []uint64{0, 0, 0}, []uint64{1, 1, 1}) {
+		t.Fatal("fallback MwCAS failed")
+	}
+	s := tm.Stats()
+	if s.CapacityAborts == 0 {
+		t.Fatalf("no capacity aborts recorded: %+v", s)
+	}
+	if s.Commits != 0 {
+		t.Fatalf("capacity-doomed txn committed: %+v", s)
+	}
+}
+
+func TestSpuriousAbortsHappen(t *testing.T) {
+	dev, tm := newTM(t, Config{SpuriousAbortProb: 0.5, MaxRetries: 4})
+	_ = dev
+	h := tm.NewHandle(42)
+	addrs := []nvram.Offset{64}
+	for i := uint64(0); i < 200; i++ {
+		if !h.MwCAS(addrs, []uint64{i}, []uint64{i + 1}) {
+			t.Fatalf("MwCAS %d failed", i)
+		}
+	}
+	s := tm.Stats()
+	if s.SpuriousAborts == 0 {
+		t.Fatalf("0.5 abort probability produced no spurious aborts: %+v", s)
+	}
+}
+
+func TestDedupAndSortLines(t *testing.T) {
+	_, tm := newTM(t, Config{})
+	lines := tm.lines([]nvram.Offset{200, 8, 16, 72, 0})
+	// words 8,16,0 share line 0; 72 is line 1; 200 is line 3.
+	want := []int{0, 1, 3}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestOperandMismatchPanics(t *testing.T) {
+	_, tm := newTM(t, Config{})
+	h := tm.NewHandle(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on operand mismatch")
+		}
+	}()
+	h.MwCAS([]nvram.Offset{0}, []uint64{1, 2}, []uint64{3})
+}
+
+// Atomicity under contention: concurrent transfers between words must
+// conserve the total, including when operations are forced through the
+// fallback path by a high spurious abort rate.
+func TestConcurrentTransfersConserveSum(t *testing.T) {
+	for _, cfg := range []Config{
+		{},                                      // mostly transactional
+		{SpuriousAbortProb: 0.9, MaxRetries: 2}, // mostly fallback
+		{MaxLines: 1, MaxRetries: 2},            // always capacity abort
+	} {
+		dev, tm := newTM(t, cfg)
+		const nWords = 4
+		const perWord = 500
+		addrs := make([]nvram.Offset, nWords)
+		for i := range addrs {
+			addrs[i] = nvram.Offset(i) * nvram.LineBytes // distinct lines
+			dev.Store(addrs[i], perWord)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				h := tm.NewHandle(seed)
+				for i := 0; i < 200; i++ {
+					from := int(seed+int64(i)) % nWords
+					to := (from + 1) % nWords
+					for {
+						vf := h.Read(addrs[from])
+						vt := h.Read(addrs[to])
+						if vf == 0 {
+							break
+						}
+						if h.MwCAS(
+							[]nvram.Offset{addrs[from], addrs[to]},
+							[]uint64{vf, vt}, []uint64{vf - 1, vt + 1}) {
+							break
+						}
+					}
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		var sum uint64
+		for _, a := range addrs {
+			sum += dev.Load(a)
+		}
+		if sum != nWords*perWord {
+			t.Fatalf("cfg %+v: sum = %d, want %d", cfg, sum, nWords*perWord)
+		}
+	}
+}
+
+func BenchmarkHTMMwCAS4Words(b *testing.B) {
+	dev, tm := newTM(b, Config{})
+	h := tm.NewHandle(1)
+	addrs := []nvram.Offset{0, 64, 128, 192}
+	_ = dev
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i)
+		h.MwCAS(addrs, []uint64{v, v, v, v}, []uint64{v + 1, v + 1, v + 1, v + 1})
+	}
+}

@@ -1,0 +1,121 @@
+// Package keycodec provides an order-preserving encoding of short byte
+// strings into the 60-bit integer key domain of the indexes in this
+// repository.
+//
+// The paper's indexes (like this implementation's) key on 8-byte words
+// with the top bits reserved for PMwCAS flags. Many real workloads key on
+// short strings — tickers, country codes, fixed-width identifiers. This
+// codec packs up to 7 bytes into a single uint64 such that
+//
+//	bytes.Compare(a, b) < 0  ⇔  Encode(a) < Encode(b)
+//
+// so range scans over encoded keys visit strings in lexicographic order.
+// Longer keys require out-of-line storage and a user comparator, which
+// the fixed-word index design deliberately does not attempt (the paper's
+// evaluation uses 8-byte keys throughout).
+//
+// Layout: bits 59..4 hold the bytes left-justified (zero padded), bits
+// 3..0 hold length+1. Left justification makes content dominate the
+// comparison; the length nibble breaks ties between a string and its
+// zero-padded extensions ("ab" < "ab\x00"), and storing length+1 keeps
+// the empty string off key 0, which the indexes reserve.
+package keycodec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxLen is the longest encodable key in bytes.
+const MaxLen = 7
+
+// ErrTooLong is returned for keys over MaxLen bytes.
+var ErrTooLong = errors.New("keycodec: key longer than 7 bytes")
+
+// Encode packs s into an order-preserving uint64 key. The result is
+// always a valid index key: nonzero and below the index MaxKey.
+func Encode(s []byte) (uint64, error) {
+	if len(s) > MaxLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLong, len(s))
+	}
+	var v uint64
+	for i := 0; i < MaxLen; i++ {
+		v <<= 8
+		if i < len(s) {
+			v |= uint64(s[i])
+		}
+	}
+	// The stored nibble is len+1, so the empty string maps to 1, never to
+	// the reserved key 0; monotonicity in length is preserved.
+	return v<<4 | (uint64(len(s)) + 1), nil
+}
+
+// EncodeString is Encode for string keys.
+func EncodeString(s string) (uint64, error) { return Encode([]byte(s)) }
+
+// MustEncode is Encode for known-short literals; it panics on oversize
+// keys.
+func MustEncode(s string) uint64 {
+	k, err := EncodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Decode recovers the original bytes from an encoded key. It returns an
+// error if k does not round-trip (was not produced by Encode).
+func Decode(k uint64) ([]byte, error) {
+	if k == 0 {
+		return nil, errors.New("keycodec: zero is not an encoded key")
+	}
+	k--
+	n := int(k & 0xf) // the nibble held len+1; the decrement yields len
+	if n > MaxLen {
+		return nil, fmt.Errorf("keycodec: corrupt length %d", n)
+	}
+	body := k >> 4
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = byte(body >> (8 * (MaxLen - 1 - i)))
+	}
+	// Reject paddings that a genuine encoding would never produce: bytes
+	// beyond the length must be zero.
+	for i := n; i < MaxLen; i++ {
+		if byte(body>>(8*(MaxLen-1-i))) != 0 {
+			return nil, errors.New("keycodec: nonzero padding")
+		}
+	}
+	return out, nil
+}
+
+// DecodeString is Decode returning a string.
+func DecodeString(k uint64) (string, error) {
+	b, err := Decode(k)
+	return string(b), err
+}
+
+// PrefixRange returns the [lo, hi] key range covering every encodable
+// string with the given prefix, for prefix scans over an index.
+func PrefixRange(prefix []byte) (lo, hi uint64, err error) {
+	if len(prefix) > MaxLen {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLong, len(prefix))
+	}
+	lo, err = Encode(prefix)
+	if err != nil {
+		return 0, 0, err
+	}
+	// hi: prefix followed by the maximal suffix (all 0xFF up to MaxLen,
+	// longest length).
+	var v uint64
+	for i := 0; i < MaxLen; i++ {
+		v <<= 8
+		if i < len(prefix) {
+			v |= uint64(prefix[i])
+		} else {
+			v |= 0xff
+		}
+	}
+	hi = v<<4 | (uint64(MaxLen) + 1)
+	return lo, hi, nil
+}

@@ -1,0 +1,437 @@
+// Package nvram simulates a byte-addressable non-volatile memory device
+// fronted by volatile CPU caches, as assumed by the PMwCAS paper's system
+// model (Section 2.1).
+//
+// The device is a word-addressed arena (64-bit words). It maintains two
+// images of memory:
+//
+//   - the cache view: the values that loads, stores and CAS operations
+//     observe. This models the contents of the volatile CPU caches plus
+//     NVRAM (i.e., the coherent view all threads share while power is on).
+//   - the persisted image: the values that have actually been written back
+//     to NVRAM. Only this image survives a Crash.
+//
+// A store makes its 64-byte cache line dirty. Flush (the analogue of
+// CLWB/CLFLUSH) writes the line back to the persisted image and clears the
+// dirty mark. Crash discards the cache view: every line that was dirty at
+// the time of the crash reverts to its last persisted contents. This makes
+// missing write-backs observable — an algorithm that forgets a flush
+// produces real, testable corruption after Crash+Recover, which is exactly
+// the property the paper's dirty-bit protocol must defend against.
+//
+// Real hardware also persists lines opportunistically when they are evicted
+// from the cache (paper, footnote 1). That behaviour can be enabled with
+// WithEviction; it is off by default so tests exercise the strictest
+// possible persistence model.
+//
+// All word accesses are performed with sync/atomic and are safe for
+// concurrent use. Crash, Recover, Snapshot and Restore require quiescence:
+// the caller must guarantee no concurrent accessors (a crash, after all,
+// stops every thread).
+package nvram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WordSize is the size of a device word in bytes.
+const WordSize = 8
+
+// LineWords is the number of 64-bit words in a simulated cache line.
+const LineWords = 8
+
+// LineBytes is the size of a simulated cache line in bytes.
+const LineBytes = LineWords * WordSize
+
+// Offset addresses a word in the device arena. Offsets are in bytes and
+// must be 8-byte aligned. Offset 0 is valid but conventionally reserved by
+// higher layers as the nil pointer.
+type Offset = uint64
+
+// Stats holds operation counters for a Device. Counters are cumulative
+// since device creation or the last ResetStats.
+type Stats struct {
+	Loads   uint64 // word loads
+	Stores  uint64 // word stores
+	CASes   uint64 // compare-and-swap attempts
+	Flushes uint64 // explicit line write-backs (CLWB equivalents)
+	Fences  uint64 // store fences
+	Crashes uint64 // simulated power failures
+}
+
+// Device is a simulated NVRAM device.
+type Device struct {
+	words     []uint64 // cache view, len == size/8
+	persisted []uint64 // durable image
+	dirty     []uint32 // one flag per cache line, 1 == dirty
+
+	size         uint64
+	flushLatency time.Duration
+	evictEvery   int    // if > 0, approx. one random eviction per N stores
+	yieldEvery   uint64 // if > 0, Gosched every N accesses (see WithYield)
+	yieldCnt     atomic.Uint64
+
+	stats struct {
+		loads, stores, cases, flushes, fences, crashes atomic.Uint64
+	}
+
+	evictMu  sync.Mutex
+	evictRng *rand.Rand
+	evictCnt atomic.Uint64
+
+	crashed atomic.Bool
+
+	hook atomic.Pointer[Hook]
+}
+
+// Hook observes every mutating device operation (stores, CASes, flushes)
+// before it takes effect. Tests use it as a failpoint: panicking from the
+// hook models a crash at that exact step, and sweeping the panic point
+// across every step exhaustively exercises recovery. Op is one of
+// "store", "cas", "flush".
+type Hook func(op string, off Offset)
+
+// SetHook installs (or, with nil, removes) the operation hook.
+func (d *Device) SetHook(h Hook) {
+	if h == nil {
+		d.hook.Store(nil)
+		return
+	}
+	d.hook.Store(&h)
+}
+
+func (d *Device) callHook(op string, off Offset) {
+	if h := d.hook.Load(); h != nil {
+		(*h)(op, off)
+	}
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithFlushLatency makes every Flush spin for approximately d, modelling
+// the write-back cost of an NVRAM line (e.g., ~100ns for 3D XPoint class
+// devices). The default is zero: flushes are free and only counted, which
+// keeps unit tests fast while benchmarks can opt in to a realistic cost.
+func WithFlushLatency(d time.Duration) Option {
+	return func(dev *Device) { dev.flushLatency = d }
+}
+
+// WithEviction enables opportunistic persistence: roughly one random dirty
+// line is written back per n stores, modelling cache-line replacement. n
+// must be positive.
+func WithEviction(n int) Option {
+	return func(dev *Device) { dev.evictEvery = n }
+}
+
+// WithYield makes the device yield the processor every n word accesses.
+// On a host with fewer cores than simulated threads, goroutines would
+// otherwise run each operation to completion unpreempted and contention
+// effects (helping, aborts, CAS failures) would never manifest; yielding
+// at word granularity interleaves logical threads the way truly parallel
+// hardware does. Benchmarks enable this; unit tests generally don't need
+// it.
+func WithYield(n int) Option {
+	return func(dev *Device) { dev.yieldEvery = uint64(n) }
+}
+
+// New creates a device with the given size in bytes. Size is rounded up to
+// a whole number of cache lines. Both images start zeroed.
+func New(size uint64, opts ...Option) *Device {
+	if size == 0 {
+		size = LineBytes
+	}
+	lines := (size + LineBytes - 1) / LineBytes
+	size = lines * LineBytes
+	d := &Device{
+		words:     make([]uint64, size/WordSize),
+		persisted: make([]uint64, size/WordSize),
+		dirty:     make([]uint32, lines),
+		size:      size,
+		evictRng:  rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.size }
+
+// index converts a byte offset to a word index, panicking on misaligned or
+// out-of-range accesses. Simulated hardware traps wild pointers; in this
+// codebase such an access is always a bug in a caller, never a recoverable
+// condition, so panic is the right failure mode.
+func (d *Device) index(off Offset) uint64 {
+	if off%WordSize != 0 {
+		panic(fmt.Sprintf("nvram: misaligned access at offset %#x", off))
+	}
+	i := off / WordSize
+	if i >= uint64(len(d.words)) {
+		panic(fmt.Sprintf("nvram: access at offset %#x beyond device size %#x", off, d.size))
+	}
+	return i
+}
+
+// Load atomically reads the word at off from the cache view.
+func (d *Device) Load(off Offset) uint64 {
+	d.maybeYield()
+	d.stats.loads.Add(1)
+	return atomic.LoadUint64(&d.words[d.index(off)])
+}
+
+// maybeYield interleaves logical threads at word granularity (WithYield).
+func (d *Device) maybeYield() {
+	if d.yieldEvery > 0 && d.yieldCnt.Add(1)%d.yieldEvery == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Store atomically writes val to the word at off and marks its line dirty.
+// The new value is visible to all threads immediately but is not durable
+// until the line is flushed.
+func (d *Device) Store(off Offset, val uint64) {
+	d.maybeYield()
+	d.callHook("store", off)
+	d.stats.stores.Add(1)
+	i := d.index(off)
+	atomic.StoreUint64(&d.words[i], val)
+	atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+	d.maybeEvict()
+}
+
+// CAS atomically compares the word at off with old and, if equal, replaces
+// it with new, marking the line dirty. It reports whether the swap
+// happened.
+func (d *Device) CAS(off Offset, old, new uint64) bool {
+	d.maybeYield()
+	d.callHook("cas", off)
+	d.stats.cases.Add(1)
+	i := d.index(off)
+	ok := atomic.CompareAndSwapUint64(&d.words[i], old, new)
+	if ok {
+		atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+		d.maybeEvict()
+	}
+	return ok
+}
+
+// Flush writes the cache line containing off back to the persisted image
+// and clears its dirty mark, modelling CLWB. Flushing a clean line is a
+// no-op apart from the latency and counter.
+//
+// The dirty mark is cleared before the line is copied: any store that
+// lands after the clear re-marks the line, so a concurrently updated word
+// is either captured by this flush or remains dirty for a later one. The
+// line is never left clean with unpersisted contents.
+func (d *Device) Flush(off Offset) {
+	d.callHook("flush", off)
+	d.stats.flushes.Add(1)
+	if d.flushLatency > 0 {
+		spin(d.flushLatency)
+	}
+	d.flushLine(d.index(off) / LineWords)
+}
+
+func (d *Device) flushLine(line uint64) {
+	atomic.StoreUint32(&d.dirty[line], 0)
+	base := line * LineWords
+	for i := base; i < base+LineWords; i++ {
+		atomic.StoreUint64(&d.persisted[i], atomic.LoadUint64(&d.words[i]))
+	}
+}
+
+// Fence orders preceding flushes before subsequent stores (SFENCE). In the
+// simulator a flush is synchronous, so Fence only counts; it exists so
+// calling code documents its ordering points the same way a real
+// implementation would.
+func (d *Device) Fence() {
+	d.stats.fences.Add(1)
+}
+
+// maybeEvict opportunistically persists one random line, if eviction is
+// enabled, at the configured store rate.
+func (d *Device) maybeEvict() {
+	if d.evictEvery <= 0 {
+		return
+	}
+	if d.evictCnt.Add(1)%uint64(d.evictEvery) != 0 {
+		return
+	}
+	d.evictMu.Lock()
+	line := uint64(d.evictRng.Intn(len(d.dirty)))
+	d.evictMu.Unlock()
+	if atomic.LoadUint32(&d.dirty[line]) == 1 {
+		d.flushLine(line)
+	}
+}
+
+// Crash simulates a power failure: the cache view is discarded and every
+// word reverts to its persisted contents. The caller must guarantee
+// quiescence. After Crash the device is immediately usable again (the
+// "restart"); Crashed reports that at least one crash has occurred.
+func (d *Device) Crash() {
+	d.stats.crashes.Add(1)
+	d.crashed.Store(true)
+	for i := range d.words {
+		atomic.StoreUint64(&d.words[i], atomic.LoadUint64(&d.persisted[i]))
+	}
+	for i := range d.dirty {
+		atomic.StoreUint32(&d.dirty[i], 0)
+	}
+}
+
+// Crashed reports whether the device has ever experienced a Crash.
+func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// DirtyLines returns the number of cache lines whose latest contents have
+// not been persisted. Useful in tests asserting that an algorithm flushed
+// everything it promised to.
+func (d *Device) DirtyLines() int {
+	n := 0
+	for i := range d.dirty {
+		if atomic.LoadUint32(&d.dirty[i]) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// PersistedLoad reads the word at off from the persisted image. Intended
+// for tests and recovery assertions.
+func (d *Device) PersistedLoad(off Offset) uint64 {
+	return atomic.LoadUint64(&d.persisted[d.index(off)])
+}
+
+// FlushAll persists every dirty line. Used by snapshotting and by tests
+// that need a clean baseline; real code paths flush selectively.
+func (d *Device) FlushAll() {
+	for line := range d.dirty {
+		if atomic.LoadUint32(&d.dirty[line]) == 1 {
+			d.flushLine(uint64(line))
+		}
+	}
+}
+
+// Stats returns a snapshot of the device's operation counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Loads:   d.stats.loads.Load(),
+		Stores:  d.stats.stores.Load(),
+		CASes:   d.stats.cases.Load(),
+		Flushes: d.stats.flushes.Load(),
+		Fences:  d.stats.fences.Load(),
+		Crashes: d.stats.crashes.Load(),
+	}
+}
+
+// ResetStats zeroes the operation counters.
+func (d *Device) ResetStats() {
+	d.stats.loads.Store(0)
+	d.stats.stores.Store(0)
+	d.stats.cases.Store(0)
+	d.stats.flushes.Store(0)
+	d.stats.fences.Store(0)
+	d.stats.crashes.Store(0)
+}
+
+// spin busy-waits for roughly the given duration. A sleep would be far too
+// coarse (the scheduler quantum dwarfs NVRAM latencies) and would also
+// deschedule the goroutine, which a CLWB does not do.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// snapshotMagic identifies the snapshot file format.
+const snapshotMagic = 0x504d574341530001 // "PMWCAS" + version 1
+
+// ErrBadSnapshot is returned when a snapshot file is malformed or does not
+// match the device geometry.
+var ErrBadSnapshot = errors.New("nvram: bad snapshot")
+
+// WriteSnapshot writes the persisted image to w. Only durable state is
+// saved — exactly what a power cycle would preserve — so restoring a
+// snapshot is equivalent to a crash at the moment the snapshot was taken.
+func (d *Device) WriteSnapshot(w io.Writer) error {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], snapshotMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], d.size)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("nvram: writing snapshot header: %w", err)
+	}
+	buf := make([]byte, LineBytes)
+	for base := 0; base < len(d.persisted); base += LineWords {
+		for i := 0; i < LineWords; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], atomic.LoadUint64(&d.persisted[base+i]))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("nvram: writing snapshot body: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot replaces both images with the snapshot read from r. The
+// device geometry must match the snapshot. Requires quiescence.
+func (d *Device) ReadSnapshot(r io.Reader) error {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("nvram: reading snapshot header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if sz := binary.LittleEndian.Uint64(hdr[8:16]); sz != d.size {
+		return fmt.Errorf("%w: snapshot size %d != device size %d", ErrBadSnapshot, sz, d.size)
+	}
+	buf := make([]byte, LineBytes)
+	for base := 0; base < len(d.persisted); base += LineWords {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nvram: reading snapshot body: %w", err)
+		}
+		for i := 0; i < LineWords; i++ {
+			v := binary.LittleEndian.Uint64(buf[i*8:])
+			atomic.StoreUint64(&d.persisted[base+i], v)
+			atomic.StoreUint64(&d.words[base+i], v)
+		}
+	}
+	for i := range d.dirty {
+		atomic.StoreUint32(&d.dirty[i], 0)
+	}
+	return nil
+}
+
+// SaveFile writes the persisted image to path, creating or truncating it.
+func (d *Device) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nvram: creating snapshot file: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteSnapshot(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile restores the device from a snapshot file written by SaveFile.
+func (d *Device) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nvram: opening snapshot file: %w", err)
+	}
+	defer f.Close()
+	return d.ReadSnapshot(f)
+}

@@ -1,0 +1,504 @@
+package skiplist
+
+import (
+	"errors"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// Insert adds key with value. It returns ErrKeyExists if the key is
+// already present. The insert is visible (and, in persistent mode,
+// durable-on-read per the PMwCAS protocol) the moment the base-level
+// PMwCAS commits; taller towers are then linked level by level, each with
+// its own PMwCAS, exactly as §6.1 describes.
+func (h *Handle) Insert(key, value uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := checkValue(value); err != nil {
+		return err
+	}
+	for {
+		err := h.insert(key, value)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			// Unwound with no guard held: reclamation can now make
+			// progress. Retry the whole operation.
+			h.list.pool.ReclaimPause()
+			continue
+		}
+		return err
+	}
+}
+
+func (h *Handle) insert(key, value uint64) error {
+	l := h.list
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+
+	var node nvram.Offset
+	height := h.randomHeight()
+	for {
+		r := h.find(key)
+		if r.found != 0 {
+			return ErrKeyExists
+		}
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return err
+		}
+		// The new node is owned by the descriptor until the PMwCAS
+		// succeeds: allocated into the entry's new-value field, freed
+		// automatically if the insert loses its race (§5.2, Figure 3).
+		field, err := d.ReserveEntry(r.preds[0]+linkOff(0, false), r.succs[0], core.PolicyFreeNewOnFailure)
+		if err != nil {
+			d.Discard()
+			return err
+		}
+		node, err = h.ah.Alloc(nodeSize(height), field)
+		if err != nil {
+			d.Discard()
+			return err
+		}
+		l.dev.Store(node+nodeKeyOff, key)
+		l.dev.Store(node+nodeValueOff, value)
+		l.dev.Store(node+nodeMetaOff, uint64(height))
+		l.dev.Store(node+linkOff(0, false), r.succs[0])
+		l.dev.Store(node+linkOff(0, true), r.preds[0])
+		l.flushNode(node, height)
+		l.dev.Fence()
+
+		if err := d.AddWord(r.succs[0]+linkOff(0, true), r.preds[0], node); err != nil {
+			d.Discard()
+			return err
+		}
+		ok, err := d.Execute()
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		// Lost the race: neighborhood changed (or key appeared). The
+		// reserved node was recycled by the failure policy; retry.
+	}
+
+	// Promotions are best-effort: abandoning them (on deletion races or
+	// descriptor pressure) leaves a valid, merely shorter, tower.
+	for level := 1; level < height; level++ {
+		if !h.promote(node, key, level) {
+			break
+		}
+	}
+	return nil
+}
+
+// promote links node into the level-i list. Returns false if the node was
+// deleted (its level word was sealed) before the promotion could land.
+func (h *Handle) promote(node nvram.Offset, key uint64, level int) bool {
+	for {
+		// A base delete seals unpromoted levels by marking their zero
+		// next word; once sealed, the expected 0 below can never match.
+		if h.read(node+linkOff(level, false)) != 0 {
+			return false
+		}
+		r := h.find(key)
+		if r.found != node {
+			return false // deleted (and possibly re-inserted as another node)
+		}
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return false
+		}
+		pred, succ := r.preds[level], r.succs[level]
+		fail := errors.Join(
+			d.AddWord(pred+linkOff(level, false), succ, node),
+			d.AddWord(succ+linkOff(level, true), pred, node),
+			d.AddWord(node+linkOff(level, false), 0, succ),
+			d.AddWord(node+linkOff(level, true), 0, pred),
+		)
+		if fail != nil {
+			d.Discard()
+			return false
+		}
+		if ok, _ := d.Execute(); ok {
+			return true
+		}
+	}
+}
+
+// Get returns the value stored under key.
+func (h *Handle) Get(key uint64) (uint64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	r := h.find(key)
+	if r.found == 0 {
+		return 0, ErrNotFound
+	}
+	return h.read(r.found + nodeValueOff), nil
+}
+
+// Contains reports whether key is present.
+func (h *Handle) Contains(key uint64) bool {
+	_, err := h.Get(key)
+	return err == nil
+}
+
+// Update replaces the value stored under key. The single-word update is
+// guarded by a compare entry on the node's base next word, so an update
+// can never land on a node that a concurrent Delete has already removed.
+func (h *Handle) Update(key, value uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := checkValue(value); err != nil {
+		return err
+	}
+	for {
+		err := h.update(key, value)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			h.list.pool.ReclaimPause()
+			continue
+		}
+		return err
+	}
+}
+
+func (h *Handle) update(key, value uint64) error {
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	for {
+		r := h.find(key)
+		if r.found == 0 {
+			return ErrNotFound
+		}
+		next := h.read(r.found + linkOff(0, false))
+		if next&DeletedMask != 0 {
+			return ErrNotFound
+		}
+		old := h.read(r.found + nodeValueOff)
+		if old == value {
+			return nil
+		}
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return err
+		}
+		fail := errors.Join(
+			d.AddWord(r.found+nodeValueOff, old, value),
+			d.AddWord(r.found+linkOff(0, false), next, next), // liveness guard
+		)
+		if fail != nil {
+			d.Discard()
+			return fail
+		}
+		if ok, _ := d.Execute(); ok {
+			return nil
+		}
+	}
+}
+
+// CompareUpdate replaces the value stored under key only if it currently
+// equals expect — compare-and-set on the value word, guarded against
+// deleted nodes like Update. Returns ErrValueMismatch when the stored
+// value is not expect, ErrNotFound when the key is absent.
+//
+// This is the primitive layered stores need to manage out-of-line
+// values: the caller learns exactly which old value it displaced, so it
+// (and only it) can reclaim that value's storage.
+func (h *Handle) CompareUpdate(key, expect, value uint64) error {
+	return h.compareUpdateOuter(key, expect, value, core.PolicyNone)
+}
+
+// CompareUpdateOwned is CompareUpdate for values that are allocator block
+// offsets owned by the list entry: on success, the displaced old value's
+// block is freed through the PMwCAS recycling machinery (Table 1,
+// FreeOldOnSuccess) — atomically with the update as far as crashes are
+// concerned, and only after the epoch proves no reader still holds it.
+func (h *Handle) CompareUpdateOwned(key, expect, value uint64) error {
+	return h.compareUpdateOuter(key, expect, value, core.PolicyFreeOldOnSuccess)
+}
+
+func (h *Handle) compareUpdateOuter(key, expect, value uint64, policy core.Policy) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := checkValue(expect); err != nil {
+		return err
+	}
+	if err := checkValue(value); err != nil {
+		return err
+	}
+	for {
+		err := h.compareUpdate(key, expect, value, policy)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			h.list.pool.ReclaimPause()
+			continue
+		}
+		return err
+	}
+}
+
+// ErrValueMismatch is returned by CompareUpdate when the stored value is
+// not the expected one.
+var ErrValueMismatch = errors.New("skiplist: value mismatch")
+
+func (h *Handle) compareUpdate(key, expect, value uint64, policy core.Policy) error {
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	for {
+		r := h.find(key)
+		if r.found == 0 {
+			return ErrNotFound
+		}
+		next := h.read(r.found + linkOff(0, false))
+		if next&DeletedMask != 0 {
+			return ErrNotFound
+		}
+		cur := h.read(r.found + nodeValueOff)
+		if cur != expect {
+			return ErrValueMismatch
+		}
+		if cur == value {
+			return nil
+		}
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return err
+		}
+		fail := errors.Join(
+			d.AddWordWithPolicy(r.found+nodeValueOff, expect, value, policy),
+			d.AddWord(r.found+linkOff(0, false), next, next), // liveness guard
+		)
+		if fail != nil {
+			d.Discard()
+			return fail
+		}
+		if ok, _ := d.Execute(); ok {
+			return nil
+		}
+		// Either the value moved (report mismatch next round) or the
+		// node's neighborhood changed (retry resolves it).
+	}
+}
+
+// DeleteValue removes key and returns the value it held at the moment of
+// unlinking. The base-level PMwCAS includes the value word as a compare
+// entry, so the returned value is exact — no concurrent Update can slip
+// between the read and the unlink. Layered stores use this to reclaim
+// out-of-line value storage safely.
+func (h *Handle) DeleteValue(key uint64) (uint64, error) {
+	return h.deleteOuter(key, core.PolicyNone)
+}
+
+// DeleteOwned removes key whose value is an allocator block offset owned
+// by the entry: the block is freed through the PMwCAS recycling
+// machinery together with the node itself, crash-safely. It returns the
+// freed value for bookkeeping; the caller must NOT free it again.
+func (h *Handle) DeleteOwned(key uint64) (uint64, error) {
+	return h.deleteOuter(key, core.PolicyFreeOldOnSuccess)
+}
+
+func (h *Handle) deleteOuter(key uint64, policy core.Policy) (uint64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	for {
+		v, err := h.delete(key, true, policy)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			h.list.pool.ReclaimPause()
+			continue
+		}
+		return v, err
+	}
+}
+
+// Delete removes key. It unlinks upper levels top-down — one PMwCAS per
+// level — then removes the base level with a PMwCAS that simultaneously
+// asserts/seals every upper level dead, so the node's memory (released by
+// the base PMwCAS's FreeOldOnSuccess policy) can never be reachable from
+// any level.
+func (h *Handle) Delete(key uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	for {
+		_, err := h.delete(key, false, core.PolicyNone)
+		if errors.Is(err, core.ErrPoolExhausted) {
+			h.list.pool.ReclaimPause()
+			continue
+		}
+		return err
+	}
+}
+
+func (h *Handle) delete(key uint64, pinValue bool, valuePolicy core.Policy) (uint64, error) {
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+
+	r := h.find(key)
+	if r.found == 0 {
+		return 0, ErrNotFound
+	}
+	node := r.found
+	height := h.list.height(node)
+
+	for {
+		// Unlink any live upper level, top-down.
+		livedUpper := false
+		for level := height - 1; level >= 1; level-- {
+			v := h.read(node + linkOff(level, false))
+			if v == 0 || v&DeletedMask != 0 {
+				continue
+			}
+			livedUpper = true
+			if err := h.unlinkLevel(node, key, level); err != nil {
+				return 0, err
+			}
+		}
+		if livedUpper {
+			continue // re-check: promotions may have raced in below us
+		}
+		res, val, err := h.unlinkBase(node, key, height, pinValue, valuePolicy)
+		if err != nil {
+			return 0, err
+		}
+		switch res {
+		case unlinkDone:
+			return val, nil
+		case unlinkLost:
+			return 0, ErrNotFound
+		case unlinkRetry:
+			// Upper level re-appeared or neighborhood changed.
+		}
+	}
+}
+
+// unlinkLevel removes node from the level-i list (one PMwCAS: mark +
+// unlink both directions). Best effort: if another thread unlinks it
+// first, that is success too.
+func (h *Handle) unlinkLevel(node nvram.Offset, key uint64, level int) error {
+	for {
+		succ := h.read(node + linkOff(level, false))
+		if succ == 0 || succ&DeletedMask != 0 {
+			return nil
+		}
+		r := h.find(key)
+		if r.succs[level] != node {
+			// Node no longer reachable at this level (or key reused):
+			// verify directly — it may be that find's neighborhood moved.
+			if h.read(node+linkOff(level, false))&DeletedMask != 0 {
+				return nil
+			}
+			continue
+		}
+		pred := r.preds[level]
+		d, err := h.core.AllocateDescriptor(0)
+		if err != nil {
+			return err
+		}
+		fail := errors.Join(
+			d.AddWord(node+linkOff(level, false), succ, succ|DeletedMask),
+			d.AddWord(pred+linkOff(level, false), node, succ),
+			d.AddWord(succ+linkOff(level, true), node, pred),
+		)
+		if fail != nil {
+			d.Discard()
+			return nil
+		}
+		if ok, _ := d.Execute(); ok {
+			return nil
+		}
+	}
+}
+
+type unlinkResult int
+
+const (
+	unlinkDone unlinkResult = iota
+	unlinkLost
+	unlinkRetry
+)
+
+// unlinkBase removes the base level and seals all upper levels in one
+// PMwCAS. The pred.next[0] entry carries FreeOldOnSuccess: its old value
+// is the node itself, recycled once the epoch proves no traversal can
+// still touch it (§6.1). With pinValue set, the node's value word joins
+// the PMwCAS as a compare entry, certifying exactly which value the
+// deletion removed.
+func (h *Handle) unlinkBase(node nvram.Offset, key uint64, height int, pinValue bool, valuePolicy core.Policy) (unlinkResult, uint64, error) {
+	succ := h.read(node + linkOff(0, false))
+	if succ&DeletedMask != 0 {
+		return unlinkLost, 0, nil // another deleter won
+	}
+	r := h.find(key)
+	if r.found != node {
+		return unlinkLost, 0, nil
+	}
+	pred := r.preds[0]
+	d, err := h.core.AllocateDescriptor(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	fail := errors.Join(
+		d.AddWordWithPolicy(pred+linkOff(0, false), node, succ, core.PolicyFreeOldOnSuccess),
+		d.AddWord(succ+linkOff(0, true), node, pred),
+		d.AddWord(node+linkOff(0, false), succ, succ|DeletedMask),
+	)
+	if fail != nil {
+		d.Discard()
+		return unlinkRetry, 0, nil
+	}
+	var val uint64
+	if pinValue {
+		val = h.read(node + nodeValueOff)
+		if err := d.AddWordWithPolicy(node+nodeValueOff, val, val, valuePolicy); err != nil {
+			d.Discard()
+			return unlinkRetry, 0, nil
+		}
+	}
+	for level := 1; level < height; level++ {
+		v := h.read(node + linkOff(level, false))
+		if v != 0 && v&DeletedMask == 0 {
+			d.Discard()
+			return unlinkRetry, 0, nil // live upper level: must unlink it first
+		}
+		// Dead (marked) levels are compared; unpromoted (0) levels are
+		// sealed so no promotion can ever land after the node dies.
+		if err := d.AddWord(node+linkOff(level, false), v, v|DeletedMask); err != nil {
+			d.Discard()
+			return unlinkRetry, 0, nil
+		}
+	}
+	ok, err := d.Execute()
+	if err != nil {
+		return unlinkRetry, 0, nil
+	}
+	if ok {
+		return unlinkDone, val, nil
+	}
+	return unlinkRetry, 0, nil
+}
+
+// Len counts the keys by walking the base level. O(n); intended for
+// tests and tools, not hot paths.
+func (l *List) Len(h *Handle) int {
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	n := 0
+	for cur := h.read(l.head + linkOff(0, false)); cur != l.tail; {
+		n++
+		next := h.read(cur+linkOff(0, false)) &^ DeletedMask
+		cur = next
+	}
+	return n
+}

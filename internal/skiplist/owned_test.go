@@ -1,0 +1,157 @@
+package skiplist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pmwcas/internal/core"
+)
+
+func TestCompareUpdateSemantics(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	if err := h.CompareUpdate(5, 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("CompareUpdate(absent): %v", err)
+	}
+	h.Insert(5, 10)
+	if err := h.CompareUpdate(5, 99, 11); !errors.Is(err, ErrValueMismatch) {
+		t.Fatalf("stale expect: %v", err)
+	}
+	if v, _ := h.Get(5); v != 10 {
+		t.Fatalf("failed CAS mutated value: %d", v)
+	}
+	if err := h.CompareUpdate(5, 10, 11); err != nil {
+		t.Fatalf("CompareUpdate: %v", err)
+	}
+	if v, _ := h.Get(5); v != 11 {
+		t.Fatalf("value = %d, want 11", v)
+	}
+	// Idempotent same-value CAS.
+	if err := h.CompareUpdate(5, 11, 11); err != nil {
+		t.Fatalf("same-value CAS: %v", err)
+	}
+	if err := h.CompareUpdate(5, DirtyValue(), 1); err == nil {
+		t.Fatal("flagged expect accepted")
+	}
+}
+
+// DirtyValue returns a value with a reserved bit for validation tests.
+func DirtyValue() uint64 { return core.DirtyFlag }
+
+func TestCompareUpdateLinearizesConcurrentCAS(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	setup := e.list.NewHandle(0)
+	setup.Insert(7, 0)
+	const goroutines = 4
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := e.list.NewHandle(int64(g))
+			for i := 0; i < perG; i++ {
+				for {
+					v, err := h.Get(7)
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					err = h.CompareUpdate(7, v, v+1)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrValueMismatch) {
+						t.Errorf("CompareUpdate: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := e.list.NewHandle(99)
+	if v, _ := h.Get(7); v != goroutines*perG {
+		t.Fatalf("counter = %d, want %d: lost updates", v, goroutines*perG)
+	}
+}
+
+func TestDeleteValueReturnsExactValue(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	h.Insert(3, 33)
+	v, err := h.DeleteValue(3)
+	if err != nil || v != 33 {
+		t.Fatalf("DeleteValue = (%d, %v)", v, err)
+	}
+	if _, err := h.DeleteValue(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double DeleteValue: %v", err)
+	}
+}
+
+// Owned variants: values are allocator blocks whose lifecycle rides the
+// PMwCAS recycle policies.
+func TestOwnedValueLifecycle(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	target := e.roots.Base + 3*8 // spare root word as delivery target
+	base, _ := e.alloc.InUse()
+
+	ah := e.alloc.NewHandle()
+	blockA, err := ah.Alloc(64, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(9, blockA); err != nil {
+		t.Fatal(err)
+	}
+	blockB, err := ah.Alloc(64, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace A with B: A must be freed by the policy.
+	if err := h.CompareUpdateOwned(9, blockA, blockB); err != nil {
+		t.Fatalf("CompareUpdateOwned: %v", err)
+	}
+	e.pool.Epochs().Advance()
+	e.pool.Epochs().Collect()
+	blocks, _ := e.alloc.InUse()
+	if blocks != base+2 { // node + blockB
+		t.Fatalf("blocks = %d, want %d (A freed)", blocks, base+2)
+	}
+	// Delete: node and B both reclaimed.
+	v, err := h.DeleteOwned(9)
+	if err != nil || v != blockB {
+		t.Fatalf("DeleteOwned = (%#x, %v)", v, err)
+	}
+	e.pool.Epochs().Advance()
+	e.pool.Epochs().Collect()
+	blocks, _ = e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("blocks = %d, want %d after DeleteOwned", blocks, base)
+	}
+}
+
+// A failed CompareUpdateOwned must not free anything.
+func TestOwnedUpdateFailureFreesNothing(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	target := e.roots.Base + 3*8
+	ah := e.alloc.NewHandle()
+	blockA, _ := ah.Alloc(64, target)
+	h.Insert(4, blockA)
+	blockB, _ := ah.Alloc(64, target)
+	if err := h.CompareUpdateOwned(4, blockA+64 /* wrong */, blockB); !errors.Is(err, ErrValueMismatch) {
+		t.Fatalf("stale owned CAS: %v", err)
+	}
+	e.pool.Epochs().Advance()
+	e.pool.Epochs().Collect()
+	// Both blocks still owned (B is the caller's problem to free/retry).
+	if err := e.alloc.Free(blockB); err != nil {
+		t.Fatalf("blockB was freed by a failed CAS: %v", err)
+	}
+	if v, _ := h.Get(4); v != blockA {
+		t.Fatalf("value changed on failed CAS: %#x", v)
+	}
+}

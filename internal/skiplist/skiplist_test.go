@@ -1,0 +1,549 @@
+package skiplist
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pmwcas/internal/alloc"
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// lenv is a full skip-list environment over one device.
+type lenv struct {
+	dev     *nvram.Device
+	pool    *core.Pool
+	alloc   *alloc.Allocator
+	list    *List
+	poolReg nvram.Region
+	aReg    nvram.Region
+	roots   nvram.Region
+	spec    []alloc.Class
+}
+
+const (
+	slDescs   = 128
+	slWords   = MinDescriptorWords
+	slHandles = 16
+)
+
+func slSpec() []alloc.Class {
+	return []alloc.Class{
+		{BlockSize: 64, Count: 4096},
+		{BlockSize: 128, Count: 1024},
+		{BlockSize: 256, Count: 512},
+	}
+}
+
+func newListEnv(t testing.TB, mode core.Mode) *lenv {
+	t.Helper()
+	e := &lenv{spec: slSpec()}
+	poolBytes := core.PoolSize(slDescs, slWords)
+	aBytes := alloc.MetaSize(e.spec, slHandles)
+	e.dev = nvram.New(poolBytes + aBytes + 1<<14)
+	l := nvram.NewLayout(e.dev)
+	e.poolReg = l.Carve(poolBytes)
+	e.aReg = l.Carve(aBytes)
+	e.roots = l.Carve(nvram.LineBytes)
+
+	var err error
+	e.alloc, err = alloc.New(e.dev, e.aReg, e.spec, slHandles)
+	if err != nil {
+		t.Fatalf("alloc.New: %v", err)
+	}
+	e.pool, err = core.NewPool(core.Config{
+		Device:             e.dev,
+		Region:             e.poolReg,
+		DescriptorCount:    slDescs,
+		WordsPerDescriptor: slWords,
+		Mode:               mode,
+		Allocator:          e.alloc,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	e.list, err = New(Config{Pool: e.pool, Allocator: e.alloc, Roots: e.roots})
+	if err != nil {
+		t.Fatalf("skiplist.New: %v", err)
+	}
+	return e
+}
+
+// reopen simulates a restart with full recovery and returns a fresh list
+// over the same roots.
+func (e *lenv) reopen(t testing.TB) {
+	t.Helper()
+	e.dev.SetHook(nil)
+	e.dev.Crash()
+	var err error
+	e.alloc, err = alloc.New(e.dev, e.aReg, e.spec, slHandles)
+	if err != nil {
+		t.Fatalf("alloc reopen: %v", err)
+	}
+	e.alloc.Recover()
+	e.pool, err = core.NewPool(core.Config{
+		Device:             e.dev,
+		Region:             e.poolReg,
+		DescriptorCount:    slDescs,
+		WordsPerDescriptor: slWords,
+		Mode:               core.Persistent,
+		Allocator:          e.alloc,
+	})
+	if err != nil {
+		t.Fatalf("pool reopen: %v", err)
+	}
+	if _, err := e.pool.Recover(); err != nil {
+		t.Fatalf("pool.Recover: %v", err)
+	}
+	e.list, err = New(Config{Pool: e.pool, Allocator: e.alloc, Roots: e.roots})
+	if err != nil {
+		t.Fatalf("list reopen: %v", err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	for _, mode := range []core.Mode{core.Persistent, core.Volatile} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newListEnv(t, mode)
+			h := e.list.NewHandle(1)
+			if err := h.Insert(10, 100); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			if v, err := h.Get(10); err != nil || v != 100 {
+				t.Fatalf("Get = (%d, %v)", v, err)
+			}
+			if err := h.Insert(10, 200); !errors.Is(err, ErrKeyExists) {
+				t.Fatalf("duplicate Insert: %v", err)
+			}
+			if _, err := h.Get(11); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(absent): %v", err)
+			}
+			if err := h.Delete(10); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := h.Get(10); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete: %v", err)
+			}
+			if err := h.Delete(10); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double Delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestKeyAndValueValidation(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	if err := h.Insert(0, 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("key 0 accepted: %v", err)
+	}
+	if err := h.Insert(MaxKey, 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("sentinel key accepted: %v", err)
+	}
+	if err := h.Insert(5, DeletedMask); !errors.Is(err, ErrValueRange) {
+		t.Fatalf("reserved-bit value accepted: %v", err)
+	}
+	if _, err := h.Get(0); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Get(0): %v", err)
+	}
+	if err := h.Delete(MaxKey); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Delete(sentinel): %v", err)
+	}
+	if err := h.Update(0, 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Update(0): %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	if err := h.Update(7, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update(absent): %v", err)
+	}
+	h.Insert(7, 1)
+	if err := h.Update(7, 2); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if v, _ := h.Get(7); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if err := h.Update(7, 2); err != nil { // no-op update
+		t.Fatalf("idempotent Update: %v", err)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	keys := []uint64{5, 1, 9, 3, 7, 2, 8, 4, 6}
+	for _, k := range keys {
+		if err := h.Insert(k, k*10); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	got, err := h.Range(1, MaxKey-1)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d, want %d", len(got), len(keys))
+	}
+	for i, ent := range got {
+		if ent.Key != uint64(i+1) || ent.Value != uint64(i+1)*10 {
+			t.Fatalf("entry %d = %+v", i, ent)
+		}
+	}
+}
+
+func TestReverseScanMirrorsForward(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	for k := uint64(1); k <= 50; k++ {
+		h.Insert(k*2, k)
+	}
+	fwd, _ := h.Range(10, 60)
+	rev, _ := h.RangeReverse(10, 60)
+	if len(fwd) == 0 || len(fwd) != len(rev) {
+		t.Fatalf("len fwd=%d rev=%d", len(fwd), len(rev))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, fwd[i], rev[len(rev)-1-i])
+		}
+	}
+}
+
+func TestScanSubrangeAndEarlyStop(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	for k := uint64(1); k <= 20; k++ {
+		h.Insert(k, k)
+	}
+	var seen []uint64
+	h.Scan(5, 15, func(ent Entry) bool {
+		seen = append(seen, ent.Key)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 5 || seen[2] != 7 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	if _, err := h.Min(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Min on empty: %v", err)
+	}
+	if _, err := h.Max(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Max on empty: %v", err)
+	}
+	for _, k := range []uint64{42, 7, 99} {
+		h.Insert(k, k)
+	}
+	if m, _ := h.Min(); m.Key != 7 {
+		t.Fatalf("Min = %+v", m)
+	}
+	if m, _ := h.Max(); m.Key != 99 {
+		t.Fatalf("Max = %+v", m)
+	}
+}
+
+func TestDeleteReclaimsNodeMemory(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	base, _ := e.alloc.InUse() // sentinels
+	for k := uint64(1); k <= 100; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		h.Delete(k)
+	}
+	e.pool.Epochs().Advance()
+	e.pool.Epochs().Collect()
+	blocks, _ := e.alloc.InUse()
+	if blocks != base {
+		t.Fatalf("blocks in use = %d, want %d: deleted nodes leaked", blocks, base)
+	}
+}
+
+// Property test: the list behaves exactly like a reference ordered map
+// under an arbitrary operation sequence, including scans both ways.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		e := newListEnv(t, core.Persistent)
+		h := e.list.NewHandle(seed)
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, b := range opsRaw {
+			key := uint64(rng.Intn(64) + 1)
+			val := uint64(rng.Intn(1000))
+			switch b % 4 {
+			case 0:
+				err := h.Insert(key, val)
+				if _, dup := ref[key]; dup {
+					if !errors.Is(err, ErrKeyExists) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					ref[key] = val
+				}
+			case 1:
+				err := h.Delete(key)
+				if _, ok := ref[key]; ok {
+					if err != nil {
+						return false
+					}
+					delete(ref, key)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 2:
+				v, err := h.Get(key)
+				want, ok := ref[key]
+				if ok != (err == nil) || (ok && v != want) {
+					return false
+				}
+			case 3:
+				err := h.Update(key, val)
+				if _, ok := ref[key]; ok {
+					if err != nil {
+						return false
+					}
+					ref[key] = val
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		// Full forward scan must equal the sorted reference.
+		var want []uint64
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got, err := h.Range(1, MaxKey-1)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i, ent := range got {
+			if ent.Key != want[i] || ent.Value != ref[want[i]] {
+				return false
+			}
+		}
+		// Reverse scan must be the exact mirror.
+		rev, err := h.RangeReverse(1, MaxKey-1)
+		if err != nil || len(rev) != len(got) {
+			return false
+		}
+		for i := range rev {
+			if rev[i] != got[len(got)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrency: disjoint key ranges per goroutine; every insert must be
+// found, every delete must remove exactly its key.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	const goroutines = 4
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := e.list.NewHandle(int64(g))
+			lo := uint64(g*perG + 1)
+			for k := lo; k < lo+perG; k++ {
+				if err := h.Insert(k, k*2); err != nil {
+					t.Errorf("Insert(%d): %v", k, err)
+					return
+				}
+			}
+			for k := lo; k < lo+perG; k += 2 {
+				if err := h.Delete(k); err != nil {
+					t.Errorf("Delete(%d): %v", k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := e.list.NewHandle(99)
+	for g := 0; g < goroutines; g++ {
+		lo := uint64(g*perG + 1)
+		for k := lo; k < lo+perG; k++ {
+			v, err := h.Get(k)
+			if (lo-k)%2 == 0 { // deleted (k-lo even)
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("Get(%d) after delete: %v", k, err)
+				}
+			} else if err != nil || v != k*2 {
+				t.Fatalf("Get(%d) = (%d, %v)", k, v, err)
+			}
+		}
+	}
+}
+
+// Concurrency: all goroutines fight over the same keys. The final state
+// must be a subset of the keys with consistent values, and the structure
+// must stay a well-formed doubly-linked list at every level.
+func TestConcurrentContendedMix(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	const goroutines = 4
+	const keyspace = 32
+	const opsPer = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := e.list.NewHandle(seed)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPer; i++ {
+				k := uint64(rng.Intn(keyspace) + 1)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				case 2:
+					if v, err := h.Get(k); err == nil && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				}
+			}
+		}(int64(g) + 7)
+	}
+	wg.Wait()
+	e.checkStructure(t)
+}
+
+// checkStructure validates the full doubly-linked invariant at every
+// level: next/prev are exact inverses, keys strictly ascend, and every
+// upper-level node is present at the base.
+func (e *lenv) checkStructure(t *testing.T) {
+	t.Helper()
+	h := e.list.NewHandle(0)
+	g := h.core.Guard()
+	g.Enter()
+	defer g.Exit()
+	l := e.list
+
+	baseKeys := map[uint64]bool{}
+	for level := 0; level < MaxHeight; level++ {
+		prevNode := l.head
+		prevKey := uint64(0)
+		for cur := h.read(l.head + linkOff(level, false)); ; {
+			if cur&DeletedMask != 0 {
+				t.Fatalf("level %d: reachable node with marked link", level)
+			}
+			back := h.read(cur + linkOff(level, true))
+			if back != prevNode {
+				t.Fatalf("level %d: prev of %#x is %#x, want %#x", level, cur, back, prevNode)
+			}
+			if cur == l.tail {
+				break
+			}
+			k := l.key(cur)
+			if k <= prevKey {
+				t.Fatalf("level %d: keys not ascending: %d after %d", level, k, prevKey)
+			}
+			if level == 0 {
+				baseKeys[k] = true
+			} else if !baseKeys[k] {
+				t.Fatalf("level %d: node %d not present at base", level, k)
+			}
+			prevKey, prevNode = k, cur
+			cur = h.read(cur + linkOff(level, false))
+		}
+	}
+}
+
+func TestStructureAfterHeavySingleThreaded(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(3)
+	rng := rand.New(rand.NewSource(3))
+	live := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(300) + 1)
+		if rng.Intn(2) == 0 {
+			if h.Insert(k, k) == nil {
+				live[k] = true
+			}
+		} else {
+			if h.Delete(k) == nil {
+				delete(live, k)
+			}
+		}
+	}
+	e.checkStructure(t)
+	if got := e.list.Len(h); got != len(live) {
+		t.Fatalf("Len = %d, want %d", got, len(live))
+	}
+}
+
+func TestPersistAcrossRestart(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	h := e.list.NewHandle(1)
+	for k := uint64(1); k <= 200; k++ {
+		if err := h.Insert(k, k+1000); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	for k := uint64(1); k <= 200; k += 4 {
+		h.Delete(k)
+	}
+	e.reopen(t)
+	h2 := e.list.NewHandle(2)
+	for k := uint64(1); k <= 200; k++ {
+		v, err := h2.Get(k)
+		if k%4 == 1 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key %d resurrected: %v", k, err)
+			}
+		} else if err != nil || v != k+1000 {
+			t.Fatalf("Get(%d) after restart = (%d, %v)", k, v, err)
+		}
+	}
+	e.checkStructure(t)
+	// And the reopened list remains fully operational.
+	if err := h2.Insert(1, 7); err != nil {
+		t.Fatalf("Insert after restart: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	e := newListEnv(t, core.Persistent)
+	if _, err := New(Config{Allocator: e.alloc, Roots: e.roots}); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+	if _, err := New(Config{Pool: e.pool, Allocator: e.alloc,
+		Roots: nvram.Region{Base: e.roots.Base, Len: 8}}); err == nil {
+		t.Fatal("tiny roots accepted")
+	}
+	smallPool, err := core.NewPool(core.Config{
+		Device: e.dev, Region: e.poolReg,
+		DescriptorCount: 4, WordsPerDescriptor: 4, Mode: core.Volatile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Pool: smallPool, Allocator: e.alloc, Roots: e.roots}); err == nil {
+		t.Fatal("undersized descriptor capacity accepted")
+	}
+}

@@ -1,0 +1,383 @@
+package pmwcas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pmwcas/internal/alloc"
+	"pmwcas/internal/blobkv"
+	"pmwcas/internal/bwtree"
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+	"pmwcas/internal/pqueue"
+	"pmwcas/internal/skiplist"
+)
+
+// Config sizes a Store. The zero value is a usable default: a 64 MiB
+// persistent store with general-purpose size classes.
+type Config struct {
+	// Size is the simulated NVRAM capacity in bytes (default 64 MiB).
+	// Layout is derived deterministically from this Config, so reopening
+	// a device (or snapshot) requires the same Config.
+	Size uint64
+	// Mode selects Persistent (default) or Volatile.
+	Mode Mode
+	// Descriptors is the PMwCAS pool capacity (default 1024).
+	Descriptors int
+	// WordsPerDescriptor is each descriptor's capacity (default: what the
+	// skip list needs, 3+MaxHeight).
+	WordsPerDescriptor int
+	// MaxHandles bounds concurrent allocator handles (default 64).
+	MaxHandles int
+	// Classes overrides the allocator size classes. The default covers
+	// skip list nodes, Bw-tree deltas, and Bw-tree pages.
+	Classes []SizeClass
+	// BwTreeMappingSlots sizes the Bw-tree mapping table (default 1<<16
+	// LPIDs). Only consumed when BwTree is opened.
+	BwTreeMappingSlots uint64
+	// FlushLatency, if set, charges each cache-line write-back this much
+	// simulated time (models NVRAM write cost in benchmarks).
+	FlushLatency time.Duration
+	// EvictEvery, if > 0, persists roughly one random line per that many
+	// stores (models opportunistic cache eviction).
+	EvictEvery int
+	// YieldEvery, if > 0, yields the processor every that many device
+	// accesses so logical threads interleave even on few-core hosts
+	// (benchmarking knob; see nvram.WithYield).
+	YieldEvery int
+}
+
+func (c *Config) fill() {
+	if c.Size == 0 {
+		c.Size = 64 << 20
+	}
+	if c.Descriptors == 0 {
+		c.Descriptors = 1024
+	}
+	if c.WordsPerDescriptor == 0 {
+		c.WordsPerDescriptor = skiplist.MinDescriptorWords
+	}
+	if c.MaxHandles == 0 {
+		c.MaxHandles = 64
+	}
+	if c.BwTreeMappingSlots == 0 {
+		c.BwTreeMappingSlots = 1 << 16
+	}
+	if c.Classes == nil {
+		// Derive classes from whatever is left after the fixed regions,
+		// with ~10% slack for bitmaps and rounding: five classes sharing
+		// the data budget evenly.
+		fixed := core.PoolSize(c.Descriptors, c.WordsPerDescriptor) +
+			c.BwTreeMappingSlots*nvram.WordSize + (64 << 10)
+		if fixed >= c.Size {
+			fixed = c.Size / 2 // let allocator construction report the overflow
+		}
+		per := (c.Size - fixed) * 9 / 10 / 5
+		c.Classes = []SizeClass{
+			{BlockSize: 64, Count: max64(per/64, 64)},
+			{BlockSize: 128, Count: max64(per/128, 32)},
+			{BlockSize: 256, Count: max64(per/256, 16)},
+			{BlockSize: 1024, Count: max64(per/1024, 16)},
+			{BlockSize: 4096, Count: max64(per/4096, 8)},
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Store assembles the full system: simulated NVRAM device, persistent
+// allocator, PMwCAS descriptor pool, a root directory for anchoring
+// application structures, and regions for the indexes. Its layout is a
+// pure function of Config, which is what makes recovery possible: after
+// a crash, opening the same device with the same Config finds every
+// structure where it was.
+type Store struct {
+	cfg   Config
+	dev   *nvram.Device
+	pool  *core.Pool
+	alloc *alloc.Allocator
+
+	rootsRegion nvram.Region // skip list anchors + application roots
+	mapRegion   nvram.Region // Bw-tree mapping table
+	metaRegion  nvram.Region // Bw-tree meta line
+	blobRegion  nvram.Region // blob KV staging slots
+	poolRegion  nvram.Region
+	allocRegion nvram.Region
+}
+
+// Create builds a fresh store on a new simulated device.
+func Create(cfg Config) (*Store, error) {
+	cfg.fill()
+	opts := []nvram.Option{}
+	if cfg.FlushLatency > 0 {
+		opts = append(opts, nvram.WithFlushLatency(cfg.FlushLatency))
+	}
+	if cfg.EvictEvery > 0 {
+		opts = append(opts, nvram.WithEviction(cfg.EvictEvery))
+	}
+	if cfg.YieldEvery > 0 {
+		opts = append(opts, nvram.WithYield(cfg.YieldEvery))
+	}
+	return assemble(nvram.New(cfg.Size, opts...), cfg, false)
+}
+
+// OpenDevice wraps an existing device (for example, one that just
+// crashed, or was restored from a snapshot) and, in Persistent mode,
+// runs allocator and PMwCAS recovery.
+func OpenDevice(dev *nvram.Device, cfg Config) (*Store, error) {
+	cfg.fill()
+	if dev.Size() < cfg.Size {
+		return nil, fmt.Errorf("pmwcas: device holds %d bytes, config requires %d", dev.Size(), cfg.Size)
+	}
+	return assemble(dev, cfg, cfg.Mode == Persistent)
+}
+
+// OpenFile restores a store from a snapshot file written by Checkpoint
+// and runs recovery. The Config must match the one the snapshot was
+// created with.
+func OpenFile(path string, cfg Config) (*Store, error) {
+	cfg.fill()
+	opts := []nvram.Option{}
+	if cfg.FlushLatency > 0 {
+		opts = append(opts, nvram.WithFlushLatency(cfg.FlushLatency))
+	}
+	dev := nvram.New(cfg.Size, opts...)
+	if err := dev.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return assemble(dev, cfg, true)
+}
+
+func assemble(dev *nvram.Device, cfg Config, recover bool) (*Store, error) {
+	s := &Store{cfg: cfg, dev: dev}
+	l := nvram.NewLayout(dev)
+	s.poolRegion = l.Carve(core.PoolSize(cfg.Descriptors, cfg.WordsPerDescriptor))
+	s.allocRegion = l.Carve(alloc.MetaSize(cfg.Classes, cfg.MaxHandles))
+	s.rootsRegion = l.Carve(nvram.LineBytes * 4) // 32 root words
+	s.mapRegion = l.Carve(cfg.BwTreeMappingSlots * nvram.WordSize)
+	s.metaRegion = l.Carve(nvram.LineBytes)
+	s.blobRegion = l.Carve(blobkv.StagingWords(cfg.MaxHandles) * nvram.WordSize)
+
+	var err error
+	s.alloc, err = alloc.New(dev, s.allocRegion, cfg.Classes, cfg.MaxHandles)
+	if err != nil {
+		return nil, fmt.Errorf("pmwcas: allocator: %w", err)
+	}
+	if recover {
+		s.alloc.Recover()
+	}
+	s.pool, err = core.NewPool(core.Config{
+		Device:             dev,
+		Region:             s.poolRegion,
+		DescriptorCount:    cfg.Descriptors,
+		WordsPerDescriptor: cfg.WordsPerDescriptor,
+		Mode:               cfg.Mode,
+		Allocator:          s.alloc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pmwcas: pool: %w", err)
+	}
+	// Finalize callbacks must exist before recovery replays descriptors.
+	bwtree.RegisterRecoveryCallbacks(s.pool, s.alloc)
+	if recover {
+		if _, err := s.pool.Recover(); err != nil {
+			return nil, fmt.Errorf("pmwcas: recovery: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Device exposes the simulated NVRAM device (stats, crash injection).
+func (s *Store) Device() *Device { return s.dev }
+
+// Epochs exposes the store-wide epoch manager.
+func (s *Store) Epochs() *EpochManager { return s.pool.Epochs() }
+
+// PoolStats returns the PMwCAS pool's activity counters.
+func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
+
+// Mode returns the store's persistence mode.
+func (s *Store) Mode() Mode { return s.cfg.Mode }
+
+// PMwCASHandle returns a per-goroutine handle for issuing raw PMwCAS
+// operations and reads.
+func (s *Store) PMwCASHandle() *Handle { return s.pool.NewHandle() }
+
+// RegisterCallback installs a finalize callback (paper §5.2). IDs 1-15
+// are reserved by the library's own structures; applications should use
+// 16 and above.
+func (s *Store) RegisterCallback(id uint16, fn FinalizeFunc) error {
+	return s.pool.RegisterCallback(id, fn)
+}
+
+// RootWords is the number of application root slots in the store.
+const RootWords = 16
+
+// RootWord returns the offset of application root slot i. Roots are
+// durable words at fixed offsets — the anchors from which persistent
+// structures are found again after a restart. Slots are application-
+// owned; slot assignments must be stable across versions of the
+// application. (The first half of the root region is reserved for the
+// library's own indexes.)
+func (s *Store) RootWord(i int) Offset {
+	if i < 0 || i >= RootWords {
+		panic(fmt.Sprintf("pmwcas: root slot %d out of range [0,%d)", i, RootWords))
+	}
+	return s.rootsRegion.Base + nvram.LineBytes*2 + nvram.Offset(i)*nvram.WordSize
+}
+
+// Alloc reserves a block of at least size bytes and durably delivers its
+// offset into the target word (paper §5.2); see Store.RootWord for
+// stable targets. Most callers want ReserveEntry on a descriptor
+// instead; this direct form exists for application root structures.
+func (s *Store) Alloc(size uint64, target Offset) (Offset, error) {
+	return s.alloc.NewHandle().Alloc(size, target)
+}
+
+// Free releases a block previously delivered by Alloc or a descriptor
+// reservation. The caller must guarantee no thread can still reach it
+// (use Epochs().Defer for lock-free structures).
+func (s *Store) Free(block Offset) error { return s.alloc.Free(block) }
+
+// MemoryInUse reports allocated (blocks, bytes) on the data heap.
+func (s *Store) MemoryInUse() (blocks, bytes uint64) { return s.alloc.InUse() }
+
+// SkipList opens the store's skip list, creating it on first use. The
+// list is a singleton per store (anchored at fixed roots).
+func (s *Store) SkipList() (*SkipList, error) {
+	return skiplist.New(skiplist.Config{
+		Pool:      s.pool,
+		Allocator: s.alloc,
+		Roots:     nvram.Region{Base: s.rootsRegion.Base, Len: nvram.LineBytes},
+	})
+}
+
+// CASSkipList creates a fresh volatile baseline skip list sharing the
+// store's device and allocator (for benchmarking against).
+func (s *Store) CASSkipList() (*CASSkipList, error) {
+	if s.cfg.Mode != Volatile {
+		return nil, errors.New("pmwcas: the CAS baseline skip list requires a Volatile store")
+	}
+	return skiplist.NewCAS(s.dev, s.alloc, s.pool.Epochs())
+}
+
+// BwTreeOptions tunes the store's Bw-tree.
+type BwTreeOptions struct {
+	// SMO selects the structure-modification protocol (default SMOPMwCAS).
+	SMO SMOMode
+	// LeafCapacity / InnerCapacity bound page sizes (default 64).
+	LeafCapacity  int
+	InnerCapacity int
+	// ConsolidateAfter is the chain length that triggers consolidation
+	// (default 8).
+	ConsolidateAfter int
+	// MergeBelow, if > 0, merges leaves that shrink under it (SMOPMwCAS
+	// only).
+	MergeBelow int
+}
+
+// Queue opens the store's persistent lock-free FIFO queue, creating it
+// on first use. Singleton per store (fixed anchor words).
+func (s *Store) Queue() (*Queue, error) {
+	return pqueue.New(pqueue.Config{
+		Pool:      s.pool,
+		Allocator: s.alloc,
+		Roots:     nvram.Region{Base: s.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes},
+	})
+}
+
+// BlobKV opens the store's byte-string key-value layer over the skip
+// list: short string keys, arbitrary-length values in out-of-line
+// records, crash-atomic updates. Singleton per store.
+func (s *Store) BlobKV() (*BlobKV, error) {
+	list, err := s.SkipList()
+	if err != nil {
+		return nil, err
+	}
+	// Each blobkv handle consumes a skip list and an allocator handle, so
+	// only a quarter of the store's handle budget is exposed here.
+	n := s.cfg.MaxHandles / 4
+	if n < 1 {
+		n = 1
+	}
+	return blobkv.Open(blobkv.Config{
+		List:       list,
+		Allocator:  s.alloc,
+		Device:     s.dev,
+		Staging:    s.blobRegion,
+		MaxHandles: n,
+	})
+}
+
+// BwTree opens the store's Bw-tree, creating it on first use. The tree
+// is a singleton per store (fixed mapping table region).
+func (s *Store) BwTree(opts BwTreeOptions) (*BwTree, error) {
+	return bwtree.New(bwtree.Config{
+		Pool:             s.pool,
+		Allocator:        s.alloc,
+		Mapping:          s.mapRegion,
+		Meta:             s.metaRegion,
+		SMO:              opts.SMO,
+		LeafCapacity:     opts.LeafCapacity,
+		InnerCapacity:    opts.InnerCapacity,
+		ConsolidateAfter: opts.ConsolidateAfter,
+		MergeBelow:       opts.MergeBelow,
+	})
+}
+
+// Crash simulates a power failure: every cache line that was not written
+// back is lost. The caller must guarantee quiescence (no in-flight
+// operations), exactly as a real power failure stops all CPUs. Follow
+// with Recover (or reopen via OpenDevice) before using the store again.
+func (s *Store) Crash() error {
+	if s.cfg.Mode != Persistent {
+		return errors.New("pmwcas: Crash on a volatile store loses everything by definition")
+	}
+	s.dev.Crash()
+	return nil
+}
+
+// Recover reruns allocator and PMwCAS recovery on this store after a
+// Crash. Application finalize callbacks must already be registered.
+// Equivalent to (and interchangeable with) reopening via OpenDevice.
+func (s *Store) Recover() (RecoveryStats, error) {
+	if s.cfg.Mode != Persistent {
+		return RecoveryStats{}, errors.New("pmwcas: Recover on a volatile store")
+	}
+	// Rebuild the allocator's volatile state, then replay deliveries and
+	// descriptors.
+	a, err := alloc.New(s.dev, s.allocRegion, s.cfg.Classes, s.cfg.MaxHandles)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	a.Recover()
+	pool, err := core.NewPool(core.Config{
+		Device:             s.dev,
+		Region:             s.poolRegion,
+		DescriptorCount:    s.cfg.Descriptors,
+		WordsPerDescriptor: s.cfg.WordsPerDescriptor,
+		Mode:               s.cfg.Mode,
+		Allocator:          a,
+	})
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	bwtree.RegisterRecoveryCallbacks(pool, a)
+	st, err := pool.Recover()
+	if err != nil {
+		return st, err
+	}
+	s.alloc, s.pool = a, pool
+	return st, nil
+}
+
+// Checkpoint writes the durable image to a file. The snapshot is
+// crash-consistent: restoring it with OpenFile is equivalent to a power
+// failure at the moment of the checkpoint, repaired by recovery.
+func (s *Store) Checkpoint(path string) error { return s.dev.SaveFile(path) }
