@@ -77,7 +77,15 @@ func main() {
 	if *runAblations {
 		ablations(*threads, sc)
 	}
+	if badRuns > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d run(s) produced incorrect results\n", badRuns)
+		os.Exit(1)
+	}
 }
+
+// badRuns counts experiment cells whose correctness check failed (e.g. a
+// torn recovery); a nonzero count fails the whole command.
+var badRuns int
 
 // yieldEvery interleaves logical threads on few-core hosts (see -yield).
 var yieldEvery int
@@ -296,6 +304,7 @@ func e7(sc scale) {
 			verdict := "OK"
 			if !r.CorrectOK {
 				verdict = "TORN"
+				badRuns++
 			}
 			tbl.Add(pool, inflight, r.Elapsed, verdict)
 		}
@@ -315,7 +324,9 @@ func e8(sc scale, flush time.Duration) {
 			stride = 1
 		}
 		for i := 0; i < sc.preload; i++ {
-			ins((uint64(i)*stride)%sc.keySpace+1, uint64(i))
+			if err := ins((uint64(i)*stride)%sc.keySpace+1, uint64(i)); err != nil {
+				fail(err)
+			}
 		}
 	}
 	{
@@ -330,7 +341,9 @@ func e8(sc scale, flush time.Duration) {
 		start := time.Now()
 		for i := 0; i < sc.scanOps; i++ {
 			from := kg.Next()
-			h.ScanReverse(from, from+scanLen, func(skiplist.Entry) bool { return true })
+			if err := h.ScanReverse(from, from+scanLen, func(skiplist.Entry) bool { return true }); err != nil {
+				fail(err)
+			}
 		}
 		tbl.Add("cas + prev fix-up", harness.Throughput(float64(sc.scanOps)/time.Since(start).Seconds()))
 	}
@@ -346,7 +359,9 @@ func e8(sc scale, flush time.Duration) {
 		start := time.Now()
 		for i := 0; i < sc.scanOps; i++ {
 			from := kg.Next()
-			h.ScanReverse(from, from+scanLen, func(skiplist.Entry) bool { return true })
+			if err := h.ScanReverse(from, from+scanLen, func(skiplist.Entry) bool { return true }); err != nil {
+				fail(err)
+			}
 		}
 		tbl.Add("pmwcas doubly-linked", harness.Throughput(float64(sc.scanOps)/time.Since(start).Seconds()))
 	}

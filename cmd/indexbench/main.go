@@ -183,14 +183,20 @@ func runReverse(w harness.Workload, flush time.Duration) {
 			stride = 1
 		}
 		for i := 0; i < w.Preload; i++ {
-			ops.Insert((uint64(i)*stride)%w.KeySpace+1, uint64(i))
+			if err := ops.Insert((uint64(i)*stride)%w.KeySpace+1, uint64(i)); err != nil {
+				fmt.Fprintln(os.Stderr, "indexbench: preload:", err)
+				os.Exit(1)
+			}
 		}
 		kg := harness.NewKeyGen(harness.Uniform, w.KeySpace-scanLen, 99)
 		start := time.Now()
 		n := w.Threads * w.OpsPer
 		for i := 0; i < n; i++ {
 			from := kg.Next()
-			rs.ScanReverse(from, from+scanLen, func(uint64, uint64) bool { return true })
+			if err := rs.ScanReverse(from, from+scanLen, func(uint64, uint64) bool { return true }); err != nil {
+				fmt.Fprintln(os.Stderr, "indexbench: scan:", err)
+				os.Exit(1)
+			}
 		}
 		tbl.Add(label, harness.Throughput(float64(n)/time.Since(start).Seconds()))
 	}

@@ -1,0 +1,143 @@
+// Command pmwcas-server serves a pmwcas store over TCP with the
+// internal/wire protocol (GET/PUT/DELETE/SCAN/STATS/PING, pipelined).
+//
+// The store is a simulated-NVRAM pmwcas.Store: with -file, a snapshot is
+// loaded at startup (if present) and written back on clean shutdown, so
+// data survives server restarts the same way it survives power failures
+// — through PMwCAS recovery on the reopened image.
+//
+// Usage:
+//
+//	pmwcas-server [-addr :7171] [-file store.img] [-index skiplist|bwtree]
+//	              [-mode persistent|volatile] [-size mib] [-maxconns n]
+//
+// Stop with SIGINT/SIGTERM: the server drains in-flight requests, closes
+// the store, and (with -file, persistent mode) checkpoints.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pmwcas"
+	"pmwcas/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	file := flag.String("file", "", "store snapshot path: loaded at start if present, checkpointed on shutdown (persistent mode)")
+	index := flag.String("index", "skiplist", "storage backend: skiplist (blob values) or bwtree (word values)")
+	mode := flag.String("mode", "persistent", "persistence mode: persistent or volatile")
+	sizeMiB := flag.Uint64("size", 256, "store size in MiB")
+	maxConns := flag.Int("maxconns", 64, "concurrent connection cap (also the store-handle pool size)")
+	descriptors := flag.Int("descriptors", 4096, "PMwCAS descriptor pool size")
+	readTimeout := flag.Duration("readtimeout", 0, "per-connection idle timeout (0 = none)")
+	drainGrace := flag.Duration("draingrace", 250*time.Millisecond, "shutdown drain window per connection")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "pmwcas-server: ", log.LstdFlags)
+
+	cfg := pmwcas.Config{
+		Size:        *sizeMiB << 20,
+		Descriptors: *descriptors,
+		// The skip-list backend spends 4 store handles per connection
+		// (blobkv handle budgeting); the slack covers the open/recovery
+		// handles each layer takes at startup.
+		MaxHandles: 4*(*maxConns) + 8,
+	}
+	switch *mode {
+	case "persistent":
+		cfg.Mode = pmwcas.Persistent
+	case "volatile":
+		cfg.Mode = pmwcas.Volatile
+	default:
+		logger.Fatalf("unknown -mode %q (want persistent or volatile)", *mode)
+	}
+
+	store, restored, err := openStore(cfg, *file)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if restored {
+		logger.Printf("restored store from %s (%d MiB, %s)", *file, *sizeMiB, *mode)
+	} else {
+		logger.Printf("created fresh store (%d MiB, %s)", *sizeMiB, *mode)
+	}
+
+	srv, err := server.New(server.Config{
+		Store:       store,
+		Index:       server.Index(*index),
+		MaxConns:    *maxConns,
+		ReadTimeout: *readTimeout,
+		DrainGrace:  *drainGrace,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// Serve until a signal arrives, then drain, close, checkpoint.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	logger.Printf("serving %s index on %s (max %d connections)", *index, *addr, *maxConns)
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: draining...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil {
+			logger.Printf("serve: %v", err)
+		}
+	case err := <-errc:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+
+	logger.Printf("served %d requests (%d connections rejected at cap)", srv.Served(), srv.Rejected())
+	if err := store.Close(); err != nil {
+		logger.Fatalf("close: %v", err)
+	}
+	if *file != "" && cfg.Mode == pmwcas.Persistent {
+		if err := store.Checkpoint(*file); err != nil {
+			logger.Fatalf("checkpoint: %v", err)
+		}
+		logger.Printf("checkpointed store to %s", *file)
+	}
+}
+
+// openStore restores from a snapshot when one exists, otherwise creates
+// a fresh store.
+func openStore(cfg pmwcas.Config, file string) (*pmwcas.Store, bool, error) {
+	if file == "" {
+		s, err := pmwcas.Create(cfg)
+		return s, false, err
+	}
+	if cfg.Mode != pmwcas.Persistent {
+		return nil, false, fmt.Errorf("-file requires -mode persistent (a volatile store has nothing durable to snapshot)")
+	}
+	if _, err := os.Stat(file); err != nil {
+		if os.IsNotExist(err) {
+			s, cerr := pmwcas.Create(cfg)
+			return s, false, cerr
+		}
+		return nil, false, err
+	}
+	s, err := pmwcas.OpenFile(file, cfg)
+	if err != nil {
+		return nil, false, fmt.Errorf("open %s: %w", file, err)
+	}
+	return s, true, nil
+}

@@ -439,6 +439,17 @@ func (a *Allocator) InUse() (blocks, bytes uint64) {
 	return blocks, bytes
 }
 
+// Capacity returns the total number of blocks and bytes across all size
+// classes, allocated or not (the denominator for occupancy reporting).
+func (a *Allocator) Capacity() (blocks, bytes uint64) {
+	for ci := range a.classes {
+		c := &a.classes[ci]
+		blocks += c.count
+		bytes += c.count * c.blockSize
+	}
+	return blocks, bytes
+}
+
 // FreeBlocks returns the number of free blocks in the class that would
 // serve a request of the given size, plus all larger classes.
 func (a *Allocator) FreeBlocks(size uint64) uint64 {

@@ -86,6 +86,7 @@ type FinalizeFunc func(view DescriptorView, succeeded bool)
 
 // Stats aggregates pool activity counters.
 type Stats struct {
+	Allocated uint64 // descriptors handed out by AllocateDescriptor
 	Succeeded uint64 // PMwCAS operations that installed all new values
 	Failed    uint64 // PMwCAS operations that failed
 	Discarded uint64 // descriptors cancelled before execution
@@ -144,7 +145,7 @@ type Pool struct {
 	retires atomic.Uint64 // drives periodic epoch advancing
 
 	stats struct {
-		succeeded, failed, discarded, helps, reads atomic.Uint64
+		allocated, succeeded, failed, discarded, helps, reads atomic.Uint64
 	}
 }
 
@@ -220,6 +221,7 @@ func (p *Pool) FreeDescriptors() int {
 // Stats returns a snapshot of the pool's activity counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
+		Allocated: p.stats.allocated.Load(),
 		Succeeded: p.stats.succeeded.Load(),
 		Failed:    p.stats.failed.Load(),
 		Discarded: p.stats.discarded.Load(),
@@ -405,6 +407,7 @@ func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
 	// descriptor's previous incarnation (§5.1). The finalizer already
 	// zeroed it persistently; initialize the volatile view only.
 	p.dev.Store(d+descCountOff, uint64(callbackID)<<callbackShift)
+	p.stats.allocated.Add(1)
 	return &Descriptor{h: h, off: d, idx: idx}, nil
 }
 

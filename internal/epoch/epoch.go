@@ -45,6 +45,15 @@ type Manager struct {
 
 	deferred atomic.Uint64 // total Defer calls, for introspection
 	freed    atomic.Uint64 // callbacks run
+	advances atomic.Uint64 // Advance calls (epoch clock ticks)
+}
+
+// Stats is a snapshot of a manager's cumulative activity.
+type Stats struct {
+	Advances uint64 // epoch clock ticks since creation
+	Deferred uint64 // objects handed to Defer
+	Freed    uint64 // callbacks run
+	Pending  uint64 // deferred objects not yet reclaimed
 }
 
 type deferred struct {
@@ -77,7 +86,10 @@ func (m *Manager) Epoch() uint64 { return m.global.Load() }
 // policy to the user ("advanced by user-defined events, e.g., by memory
 // usage or physical time"); callers here advance either periodically or
 // every k Defers.
-func (m *Manager) Advance() uint64 { return m.global.Add(1) }
+func (m *Manager) Advance() uint64 {
+	m.advances.Add(1)
+	return m.global.Add(1)
+}
 
 // Defer schedules fn to run once no guard can still be inside an epoch <=
 // the current one. fn must be non-nil.
@@ -159,9 +171,14 @@ func (m *Manager) Pending() int {
 	return len(m.garbage)
 }
 
-// Stats returns cumulative (deferred, freed) counts.
-func (m *Manager) Stats() (deferredN, freedN uint64) {
-	return m.deferred.Load(), m.freed.Load()
+// Stats returns a snapshot of the manager's cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Advances: m.advances.Load(),
+		Deferred: m.deferred.Load(),
+		Freed:    m.freed.Load(),
+		Pending:  uint64(m.Pending()),
+	}
 }
 
 // A Guard is one thread's participation handle.

@@ -150,9 +150,15 @@ func TestStats(t *testing.T) {
 	m.Defer(func() {})
 	m.Advance()
 	m.Collect()
-	d, f := m.Stats()
-	if d != 2 || f != 2 {
-		t.Fatalf("Stats = (%d,%d), want (2,2)", d, f)
+	st := m.Stats()
+	if st.Deferred != 2 || st.Freed != 2 {
+		t.Fatalf("Stats = (%d,%d), want (2,2)", st.Deferred, st.Freed)
+	}
+	if st.Advances == 0 {
+		t.Fatal("Advance not counted")
+	}
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d, want 0", st.Pending)
 	}
 }
 

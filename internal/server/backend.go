@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"pmwcas"
+	"pmwcas/internal/keycodec"
+)
+
+// A backend is one connection's handle onto the store: per-connection
+// state (epoch guard, allocator slot, staging slot) lives inside it, so
+// two connections never share a handle and the store's lock-free paths
+// run genuinely concurrently. Backends are minted once at server start
+// (handle budgets are a startup decision in every layer below) and
+// leased to connections from a pool.
+type backend interface {
+	Put(key, val []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	// Scan visits entries with keys in [from, end] in order, at most
+	// limit of them. An empty end means the end of the keyspace.
+	Scan(from, end []byte, limit int, fn func(key, val []byte) bool) error
+}
+
+// Index names a server storage backend.
+type Index string
+
+// Supported indexes.
+const (
+	// IndexSkipList serves keys from the blob KV layer over the PMwCAS
+	// skip list: values up to blobkv.MaxValueLen bytes, crash-atomic.
+	IndexSkipList Index = "skiplist"
+	// IndexBwTree serves keys from the Bw-tree. Keys and values both
+	// travel through the order-preserving word codec, so values are
+	// limited to keycodec.MaxLen bytes — a counters-and-flags regime.
+	IndexBwTree Index = "bwtree"
+)
+
+// errNotFound normalizes the per-index not-found errors.
+var errNotFound = errors.New("server: key not found")
+
+// errValueTooLarge is returned for values the backend cannot hold.
+var errValueTooLarge = errors.New("server: value too large for this index")
+
+// newBackends mints n per-connection backends for the chosen index.
+func newBackends(store *pmwcas.Store, index Index, n int) ([]backend, error) {
+	switch index {
+	case IndexSkipList:
+		kv, err := store.BlobKV()
+		if err != nil {
+			return nil, fmt.Errorf("server: open blobkv: %w", err)
+		}
+		out := make([]backend, n)
+		for i := range out {
+			out[i] = &blobBackend{h: kv.NewHandle(int64(i) + 0x5e12)}
+		}
+		return out, nil
+	case IndexBwTree:
+		tree, err := store.BwTree(pmwcas.BwTreeOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("server: open bwtree: %w", err)
+		}
+		out := make([]backend, n)
+		for i := range out {
+			out[i] = &bwtreeBackend{h: tree.NewHandle()}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("server: unknown index %q (want %q or %q)", index, IndexSkipList, IndexBwTree)
+}
+
+// blobBackend adapts a blobkv handle.
+type blobBackend struct {
+	h *pmwcas.BlobKVHandle
+}
+
+func (b *blobBackend) Put(key, val []byte) error { return b.h.Put(key, val) }
+
+func (b *blobBackend) Get(key []byte) ([]byte, error) {
+	v, err := b.h.Get(key)
+	if errors.Is(err, pmwcas.ErrBlobNotFound) {
+		return nil, errNotFound
+	}
+	return v, err
+}
+
+func (b *blobBackend) Delete(key []byte) error {
+	if err := b.h.Delete(key); err != nil {
+		return errNotFound
+	}
+	return nil
+}
+
+// maxKeyBytes is the largest encodable key — the inclusive upper bound
+// for an open-ended scan.
+var maxKeyBytes = []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+func (b *blobBackend) Scan(from, end []byte, limit int, fn func(key, val []byte) bool) error {
+	if len(end) == 0 {
+		end = maxKeyBytes
+	}
+	n := 0
+	return b.h.Scan(from, end, func(k, v []byte) bool {
+		if n >= limit {
+			return false
+		}
+		n++
+		return fn(k, v)
+	})
+}
+
+// bwtreeBackend adapts a Bw-tree handle: keys and values are packed into
+// index words with the order-preserving codec, which bounds both at
+// keycodec.MaxLen bytes but keeps every mutation a single index write.
+type bwtreeBackend struct {
+	h *pmwcas.BwTreeHandle
+}
+
+func (b *bwtreeBackend) Put(key, val []byte) error {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return err
+	}
+	if len(val) > keycodec.MaxLen {
+		return fmt.Errorf("%w: %d bytes (bwtree max %d)", errValueTooLarge, len(val), keycodec.MaxLen)
+	}
+	v, err := keycodec.Encode(val)
+	if err != nil {
+		return err
+	}
+	// Upsert: race losses between the existence check inside Update and
+	// Insert are retried until one path wins.
+	for {
+		err := b.h.Update(k, v)
+		if !errors.Is(err, pmwcas.ErrBwTreeNotFound) {
+			return err
+		}
+		err = b.h.Insert(k, v)
+		if !errors.Is(err, pmwcas.ErrBwTreeKeyExists) {
+			return err
+		}
+	}
+}
+
+func (b *bwtreeBackend) Get(key []byte) ([]byte, error) {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := b.h.Get(k)
+	if errors.Is(err, pmwcas.ErrBwTreeNotFound) {
+		return nil, errNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return keycodec.Decode(v)
+}
+
+func (b *bwtreeBackend) Delete(key []byte) error {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return err
+	}
+	if err := b.h.Delete(k); err != nil {
+		if errors.Is(err, pmwcas.ErrBwTreeNotFound) {
+			return errNotFound
+		}
+		return err
+	}
+	return nil
+}
+
+func (b *bwtreeBackend) Scan(from, end []byte, limit int, fn func(key, val []byte) bool) error {
+	lo, err := keycodec.Encode(from)
+	if err != nil {
+		return err
+	}
+	hi, err := scanUpperBound(end)
+	if err != nil {
+		return err
+	}
+	n := 0
+	var decodeErr error
+	err = b.h.Scan(lo, hi, func(e pmwcas.BwTreeEntry) bool {
+		if n >= limit {
+			return false
+		}
+		k, err := keycodec.Decode(e.Key)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		v, err := keycodec.Decode(e.Value)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		n++
+		return fn(k, v)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// scanUpperBound maps a request's end-key to an encoded inclusive upper
+// bound; empty means "everything from the lower bound on".
+func scanUpperBound(end []byte) (uint64, error) {
+	if len(end) == 0 {
+		_, hi, err := keycodec.PrefixRange(nil)
+		return hi, err
+	}
+	return keycodec.Encode(end)
+}

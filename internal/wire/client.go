@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a connection to a pmwcas-server speaking this package's
+// protocol. It is not safe for concurrent use; open one client per
+// goroutine (the server hands each connection its own store handle, so
+// per-goroutine clients are also how server-side parallelism is won).
+//
+// The synchronous helpers (Get, Put, ...) are one round trip each. For
+// pipelining, queue requests with Send, Flush the batch, then call Recv
+// once per queued request — responses arrive in request order.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// Timeout, if set, bounds each Flush and each Recv.
+	Timeout time.Duration
+
+	reqBuf  []byte
+	respBuf []byte
+	pending int
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with a connect timeout, also installed as the
+// client's per-operation Timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, d), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		Timeout: timeout,
+	}
+}
+
+// Close closes the connection. Responses still in flight are lost.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send queues one request without flushing. Pair every Send with a later
+// Recv, in order.
+func (c *Client) Send(r *Request) error {
+	c.reqBuf = AppendRequest(c.reqBuf[:0], r)
+	if err := WriteFrame(c.bw, c.reqBuf); err != nil {
+		return err
+	}
+	c.pending++
+	return nil
+}
+
+// Flush pushes every queued request onto the wire.
+func (c *Client) Flush() error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next response. The response's entry slices are valid
+// until the next Recv.
+func (c *Client) Recv() (Response, error) {
+	if err := c.deadline(); err != nil {
+		return Response{}, err
+	}
+	body, err := ReadFrame(c.br, c.respBuf)
+	if err != nil {
+		return Response{}, err
+	}
+	c.respBuf = body[:cap(body)]
+	if c.pending > 0 {
+		c.pending--
+	}
+	return DecodeResponse(body)
+}
+
+// Pending returns how many responses are owed for queued/sent requests.
+func (c *Client) Pending() int { return c.pending }
+
+func (c *Client) deadline() error {
+	if c.Timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.Timeout))
+}
+
+// Do performs one synchronous round trip.
+func (c *Client) Do(r *Request) (Response, error) {
+	if err := c.Send(r); err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	resp, err := c.Do(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("wire: ping: %s: %s", resp.Status, resp.Msg)
+	}
+	return nil
+}
+
+// ErrNotFound is returned by Get/Delete for absent keys.
+var ErrNotFound = fmt.Errorf("wire: key not found")
+
+// Get fetches the value under key. The returned slice is valid until the
+// next operation on the client.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	resp, err := c.Do(&Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		if len(resp.Entries) != 1 {
+			return nil, fmt.Errorf("wire: GET returned %d entries", len(resp.Entries))
+		}
+		return resp.Entries[0].Value, nil
+	case StatusNotFound:
+		return nil, ErrNotFound
+	}
+	return nil, resp.Err()
+}
+
+// Put stores val under key (insert or replace).
+func (c *Client) Put(key, val []byte) error {
+	resp, err := c.Do(&Request{Op: OpPut, Key: key, Value: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("wire: put: %s: %s", resp.Status, resp.Msg)
+	}
+	return nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	resp, err := c.Do(&Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	}
+	return resp.Err()
+}
+
+// Scan returns up to limit entries with keys in [from, end], in order.
+// An empty end scans to the end of the keyspace; limit 0 uses the server
+// default. Entries are copies and remain valid after the next operation.
+func (c *Client) Scan(from, end []byte, limit int) ([]Entry, error) {
+	resp, err := c.Do(&Request{Op: OpScan, Key: from, End: end, Limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("wire: scan: %s: %s", resp.Status, resp.Msg)
+	}
+	out := make([]Entry, len(resp.Entries))
+	for i, e := range resp.Entries {
+		out[i] = Entry{Key: append([]byte(nil), e.Key...), Value: append([]byte(nil), e.Value...)}
+	}
+	return out, nil
+}
+
+// Stats fetches the server's textual stats snapshot.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.Do(&Request{Op: OpStats})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != StatusOK || len(resp.Entries) != 1 {
+		return "", fmt.Errorf("wire: stats: %s: %s", resp.Status, resp.Msg)
+	}
+	return string(resp.Entries[0].Value), nil
+}

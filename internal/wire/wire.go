@@ -1,0 +1,373 @@
+// Package wire implements the pmwcas-server wire protocol: a compact,
+// length-prefixed binary request/response format designed for
+// pipelining. It is RESP-like in spirit (small fixed op set, strictly
+// ordered request/response streams over one connection) but binary and
+// length-prefixed, so a reader never has to scan for delimiters and a
+// fuzzer can exercise the decoder byte-for-byte.
+//
+// Framing: every message is a 4-byte big-endian body length followed by
+// the body. Bodies are capped at MaxFrame; a peer announcing a larger
+// frame is broken or hostile and the connection should be dropped.
+// Requests and responses share the framing; their bodies differ:
+//
+//	request  = op:u8 | klen:u16 key | elen:u16 end | vlen:u32 value | limit:u32
+//	response = status:u8 | mlen:u16 msg | count:u32 | {klen:u16 key | vlen:u32 value}*
+//
+// Every field is always present; ops that do not use a field send it
+// empty/zero (PING is 14 bytes on the wire). Multi-byte integers are
+// big-endian. Responses arrive in request order — pipelining is simply
+// writing several requests before reading the replies.
+//
+// Field use by op:
+//
+//	PING   -
+//	GET    key                      → value in a single entry
+//	PUT    key, value
+//	DELETE key
+//	SCAN   key (lower), end (upper), limit → count entries, ordered
+//	STATS  -                        → single entry, textual "name value" lines
+//
+// SCAN bounds are inclusive byte-string bounds; an empty end means "to
+// the end of the keyspace". A limit of 0 asks for the server default.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a message body. It is sized so a full SCAN response
+// (MaxScanEntries entries of maximal size) fits in one frame.
+const MaxFrame = 4 << 20
+
+// MaxScanEntries is the most entries a SCAN response may carry; servers
+// clamp client limits to it.
+const MaxScanEntries = 512
+
+// Op identifies a request operation.
+type Op uint8
+
+// Request operations.
+const (
+	OpPing Op = iota + 1
+	OpGet
+	OpPut
+	OpDelete
+	OpScan
+	OpStats
+	opMax
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is a response outcome.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK: the operation completed; payload depends on the op.
+	StatusOK Status = iota + 1
+	// StatusNotFound: the key does not exist (GET/DELETE).
+	StatusNotFound
+	// StatusBadRequest: the request was well-framed but unacceptable
+	// (oversized key/value, unknown op); the message explains.
+	StatusBadRequest
+	// StatusErr: the server failed to execute a valid request.
+	StatusErr
+	// StatusBusy: the server is at its connection cap or shutting down;
+	// the client should back off or try another replica.
+	StatusBusy
+	statusMax
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusErr:
+		return "ERR"
+	case StatusBusy:
+		return "BUSY"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Request is one decoded client request.
+type Request struct {
+	Op    Op
+	Key   []byte // GET/PUT/DELETE key; SCAN lower bound
+	End   []byte // SCAN upper bound (empty = end of keyspace)
+	Value []byte // PUT value
+	Limit uint32 // SCAN entry cap (0 = server default)
+}
+
+// Entry is one key/value pair in a response.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status  Status
+	Msg     string  // human-readable detail for non-OK statuses
+	Entries []Entry // GET: 1 entry; SCAN: ordered results; STATS: 1 entry
+}
+
+// Err converts a non-OK, non-NotFound response into an error. StatusOK
+// and StatusNotFound return nil — callers distinguish those by Status.
+func (r *Response) Err() error {
+	switch r.Status {
+	case StatusOK, StatusNotFound:
+		return nil
+	}
+	return fmt.Errorf("wire: %s: %s", r.Status, r.Msg)
+}
+
+// Decode errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated body")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after body")
+	ErrUnknownOp     = errors.New("wire: unknown op")
+	ErrUnknownStatus = errors.New("wire: unknown status")
+)
+
+// AppendRequest appends r's encoded body (no length prefix) to dst.
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.End)))
+	dst = append(dst, r.End...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Value)))
+	dst = append(dst, r.Value...)
+	dst = binary.BigEndian.AppendUint32(dst, r.Limit)
+	return dst
+}
+
+// DecodeRequest parses a request body (no length prefix). The returned
+// slices alias body.
+func DecodeRequest(body []byte) (Request, error) {
+	var r Request
+	c := cursor{buf: body}
+	op, err := c.u8()
+	if err != nil {
+		return r, err
+	}
+	if op == 0 || Op(op) >= opMax {
+		return r, fmt.Errorf("%w: %d", ErrUnknownOp, op)
+	}
+	r.Op = Op(op)
+	if r.Key, err = c.bytes16(); err != nil {
+		return r, err
+	}
+	if r.End, err = c.bytes16(); err != nil {
+		return r, err
+	}
+	if r.Value, err = c.bytes32(); err != nil {
+		return r, err
+	}
+	if r.Limit, err = c.u32(); err != nil {
+		return r, err
+	}
+	if err := c.done(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// AppendResponse appends r's encoded body (no length prefix) to dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, byte(r.Status))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Msg)))
+	dst = append(dst, r.Msg...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Entries)))
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Key)))
+		dst = append(dst, e.Key...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Value)))
+		dst = append(dst, e.Value...)
+	}
+	return dst
+}
+
+// DecodeResponse parses a response body (no length prefix). The returned
+// slices alias body.
+func DecodeResponse(body []byte) (Response, error) {
+	var r Response
+	c := cursor{buf: body}
+	st, err := c.u8()
+	if err != nil {
+		return r, err
+	}
+	if st == 0 || Status(st) >= statusMax {
+		return r, fmt.Errorf("%w: %d", ErrUnknownStatus, st)
+	}
+	r.Status = Status(st)
+	msg, err := c.bytes16()
+	if err != nil {
+		return r, err
+	}
+	r.Msg = string(msg)
+	n, err := c.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each entry costs at least 6 bytes on the wire; a count that cannot
+	// possibly fit the remaining body is rejected before allocating.
+	if uint64(n)*6 > uint64(len(c.buf)-c.off) {
+		return r, fmt.Errorf("%w: %d entries in %d bytes", ErrTruncated, n, len(c.buf)-c.off)
+	}
+	if n > 0 {
+		r.Entries = make([]Entry, n)
+		for i := range r.Entries {
+			if r.Entries[i].Key, err = c.bytes16(); err != nil {
+				return r, err
+			}
+			if r.Entries[i].Value, err = c.bytes32(); err != nil {
+				return r, err
+			}
+		}
+	}
+	if err := c.done(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteFrame writes the 4-byte length prefix and body to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed body from br into buf (grown as
+// needed) and returns the body slice. It returns io.EOF only on a clean
+// boundary (no bytes of the next frame read); a frame cut short yields
+// io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return nil, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return nil, unexpect(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, unexpect(err)
+	}
+	return buf, nil
+}
+
+func unexpect(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// cursor is a bounds-checked reader over a message body.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) u8() (uint8, error) {
+	if c.off+1 > len(c.buf) {
+		return 0, ErrTruncated
+	}
+	v := c.buf[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.off+2 > len(c.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(c.buf[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.buf) {
+		return nil, ErrTruncated
+	}
+	v := c.buf[c.off : c.off+n : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) bytes16() ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	return c.take(int(n))
+}
+
+func (c *cursor) bytes32() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	return c.take(int(n))
+}
+
+func (c *cursor) done() error {
+	if c.off != len(c.buf) {
+		return fmt.Errorf("%w: %d of %d consumed", ErrTrailingBytes, c.off, len(c.buf))
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpPing},
+		{Op: OpStats},
+		{Op: OpGet, Key: []byte("alpha")},
+		{Op: OpGet, Key: []byte{}}, // empty key is legal at the wire layer
+		{Op: OpPut, Key: []byte("k"), Value: bytes.Repeat([]byte{0xab}, 4080)},
+		{Op: OpPut, Key: []byte("k"), Value: []byte{}},
+		{Op: OpDelete, Key: []byte("gone")},
+		{Op: OpScan, Key: []byte("a"), End: []byte("z"), Limit: 100},
+		{Op: OpScan, Key: nil, End: nil, Limit: 0},
+	}
+	for _, want := range cases {
+		body := AppendRequest(nil, &want)
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Op, err)
+		}
+		if got.Op != want.Op || !bytes.Equal(got.Key, want.Key) ||
+			!bytes.Equal(got.End, want.End) || !bytes.Equal(got.Value, want.Value) ||
+			got.Limit != want.Limit {
+			t.Fatalf("%s: round trip mismatch: got %+v want %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Status: StatusOK},
+		{Status: StatusNotFound, Msg: "no such key"},
+		{Status: StatusBadRequest, Msg: "key too long"},
+		{Status: StatusBusy, Msg: "connection cap reached"},
+		{Status: StatusOK, Entries: []Entry{{Key: []byte("k"), Value: []byte("v")}}},
+		{Status: StatusOK, Entries: []Entry{
+			{Key: []byte("a"), Value: nil},
+			{Key: nil, Value: []byte("only value")},
+			{Key: []byte("c"), Value: bytes.Repeat([]byte("x"), 1000)},
+		}},
+	}
+	for _, want := range cases {
+		body := AppendResponse(nil, &want)
+		got, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Status, err)
+		}
+		if got.Status != want.Status || got.Msg != want.Msg || len(got.Entries) != len(want.Entries) {
+			t.Fatalf("%s: round trip mismatch: got %+v want %+v", want.Status, got, want)
+		}
+		for i := range want.Entries {
+			if !bytes.Equal(got.Entries[i].Key, want.Entries[i].Key) ||
+				!bytes.Equal(got.Entries[i].Value, want.Entries[i].Value) {
+				t.Fatalf("%s: entry %d mismatch", want.Status, i)
+			}
+		}
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	full := AppendRequest(nil, &Request{
+		Op: OpPut, Key: []byte("key"), End: []byte("e"), Value: []byte("value"), Limit: 7,
+	})
+	// Every strict prefix must fail loudly, never panic or accept.
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRequest(full[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := DecodeRequest(append(full, 0)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte: got %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestDecodeResponseTruncated(t *testing.T) {
+	full := AppendResponse(nil, &Response{
+		Status: StatusOK,
+		Msg:    "m",
+		Entries: []Entry{
+			{Key: []byte("k1"), Value: []byte("v1")},
+			{Key: []byte("k2"), Value: []byte("v2")},
+		},
+	})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeResponse(full[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := DecodeResponse(append(full, 0)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte: got %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestDecodeRejectsLyingLengths(t *testing.T) {
+	// A request whose klen points past the end of the body.
+	body := []byte{byte(OpGet), 0xff, 0xff, 'a'}
+	if _, err := DecodeRequest(body); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying klen: got %v, want ErrTruncated", err)
+	}
+	// A response that announces 2^32-1 entries in a tiny body.
+	var resp []byte
+	resp = append(resp, byte(StatusOK))
+	resp = binary.BigEndian.AppendUint16(resp, 0)
+	resp = binary.BigEndian.AppendUint32(resp, 0xffffffff)
+	if _, err := DecodeResponse(resp); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying count: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeUnknownOpAndStatus(t *testing.T) {
+	body := AppendRequest(nil, &Request{Op: OpPing})
+	body[0] = 0xee
+	if _, err := DecodeRequest(body); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("got %v, want ErrUnknownOp", err)
+	}
+	body[0] = 0
+	if _, err := DecodeRequest(body); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("op 0: got %v, want ErrUnknownOp", err)
+	}
+	rbody := AppendResponse(nil, &Response{Status: StatusOK})
+	rbody[0] = 0xee
+	if _, err := DecodeResponse(rbody); !errors.Is(err, ErrUnknownStatus) {
+		t.Fatalf("got %v, want ErrUnknownStatus", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{
+		AppendRequest(nil, &Request{Op: OpPing}),
+		AppendRequest(nil, &Request{Op: OpPut, Key: []byte("k"), Value: []byte("v")}),
+		{}, // empty body frames are legal at the framing layer
+	}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	var scratch []byte
+	for i, want := range bodies {
+		got, err := ReadFrame(br, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(br, scratch); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:])), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameCutShort(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 1; n < len(full); n++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:n])), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", n, err)
+		}
+	}
+}
+
+func TestResponseErr(t *testing.T) {
+	for _, st := range []Status{StatusOK, StatusNotFound} {
+		r := Response{Status: st, Msg: "x"}
+		if err := r.Err(); err != nil {
+			t.Fatalf("%s: unexpected error %v", st, err)
+		}
+	}
+	r := Response{Status: StatusErr, Msg: "boom"}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("StatusErr.Err() = %v", err)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	// Guard against silent renumbering: names and values are protocol.
+	want := map[Op]string{OpPing: "PING", OpGet: "GET", OpPut: "PUT",
+		OpDelete: "DELETE", OpScan: "SCAN", OpStats: "STATS"}
+	for op, name := range want {
+		if op.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), name)
+		}
+	}
+	if !reflect.DeepEqual(Op(200).String(), "Op(200)") {
+		t.Fatal("unknown op formatting changed")
+	}
+}

@@ -155,11 +155,15 @@ const (
 // PMwCAS pool and the indexes (§5.1).
 type EpochManager = epoch.Manager
 
+// EpochStats counts epoch clock advances and deferred/freed garbage.
+type EpochStats = epoch.Stats
+
 // Sentinel errors re-exported from the index packages.
 var (
 	ErrSkipListKeyExists = skiplist.ErrKeyExists
 	ErrSkipListNotFound  = skiplist.ErrNotFound
 	ErrBlobNotFound      = blobkv.ErrNotFound
+	ErrBlobValueTooLarge = blobkv.ErrValueTooLarge
 	ErrBwTreeKeyExists   = bwtree.ErrKeyExists
 	ErrBwTreeNotFound    = bwtree.ErrNotFound
 	ErrPoolExhausted     = core.ErrPoolExhausted

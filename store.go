@@ -202,6 +202,54 @@ func (s *Store) Epochs() *EpochManager { return s.pool.Epochs() }
 // PoolStats returns the PMwCAS pool's activity counters.
 func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
 
+// StoreStats is a cross-layer observability snapshot: PMwCAS descriptor
+// activity, epoch-reclamation progress, allocator occupancy, and device
+// flush counts in one read. It is what the server's STATS command
+// reports; all counters are cumulative since store creation.
+type StoreStats struct {
+	// Pool counts PMwCAS descriptor activity (allocations, helps,
+	// successes/failures, reads that helped).
+	Pool PoolStats
+	// Epoch counts epoch clock advances and deferred/freed garbage.
+	Epoch EpochStats
+	// Descriptor pool occupancy.
+	DescriptorsFree int
+	DescriptorsCap  int
+	// Data-heap occupancy (allocated vs total capacity).
+	AllocBlocks, AllocBytes       uint64
+	AllocCapBlocks, AllocCapBytes uint64
+	// Device holds the NVRAM operation counters (loads, stores, flushes,
+	// fences, crashes).
+	Device DeviceStats
+}
+
+// Stats gathers a StoreStats snapshot. Counters are read individually
+// without a global lock, so a snapshot taken under load is approximate —
+// internally consistent enough for monitoring, not a linearizable cut.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Pool:            s.pool.Stats(),
+		Epoch:           s.pool.Epochs().Stats(),
+		DescriptorsFree: s.pool.FreeDescriptors(),
+		DescriptorsCap:  s.pool.Capacity(),
+		Device:          s.dev.Stats(),
+	}
+	st.AllocBlocks, st.AllocBytes = s.alloc.InUse()
+	st.AllocCapBlocks, st.AllocCapBytes = s.alloc.Capacity()
+	return st
+}
+
+// Close quiesces the store: the epoch clock is advanced and every
+// deferred reclamation runs, so all recycled descriptors and blocks are
+// durably finalized. Every handle must be idle — no operation in flight,
+// no guard held (Close panics otherwise, exactly like EpochManager.Drain).
+// The store must not be used after Close; for persistent stores, follow
+// with Checkpoint to capture the quiesced image.
+func (s *Store) Close() error {
+	s.pool.Epochs().Drain()
+	return nil
+}
+
 // Mode returns the store's persistence mode.
 func (s *Store) Mode() Mode { return s.cfg.Mode }
 
