@@ -1,0 +1,61 @@
+// Command pmwcaslint runs the PMwCAS protocol analyzers (internal/lint)
+// over Go packages. It is both a `go vet -vettool` unitchecker and its
+// own driver:
+//
+//	go run ./cmd/pmwcaslint ./...        # lint the whole tree
+//	go vet -vettool=$(which pmwcaslint) ./...
+//
+// When invoked with package patterns, pmwcaslint re-executes itself
+// through `go vet -vettool`, which supplies type information and export
+// data for every dependency without any network access. When invoked by
+// go vet (with -V=full or a *.cfg unit file), it behaves as a standard
+// unitchecker.
+//
+// Exit status is non-zero if any diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"pmwcas/internal/lint"
+)
+
+func main() {
+	// go vet protocol: `pmwcaslint -V=full` (version probe), `-flags`
+	// (flag enumeration), or `pmwcaslint [flags] unit.cfg` (analysis unit).
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-V" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(lint.Analyzers...) // does not return
+		}
+	}
+
+	// Driver mode: re-exec through `go vet -vettool=<self>` so the build
+	// system supplies types and facts for each package unit.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmwcaslint: cannot locate own binary:", err)
+		os.Exit(2)
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	if len(os.Args) > 1 {
+		args = append(args, os.Args[1:]...)
+	} else {
+		args = append(args, "./...")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "pmwcaslint:", err)
+		os.Exit(2)
+	}
+}

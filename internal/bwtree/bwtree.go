@@ -257,6 +257,7 @@ func (t *Tree) NewHandle() *Handle {
 // in-flight PMwCAS in descriptor modes.
 func (h *Handle) readMapping(lpid uint64) uint64 {
 	if h.tree.smo == SMOSingleCAS {
+		//lint:allow rawload — baseline mode publishes mappings with plain CAS; there is no dirty bit to observe
 		return h.tree.dev.Load(h.tree.mappingOff(lpid))
 	}
 	return h.core.Read(h.tree.mappingOff(lpid))
@@ -294,7 +295,7 @@ func (t *Tree) Stats(h *Handle) Stats {
 	g := h.core.Guard()
 	g.Enter()
 	defer g.Exit()
-	s.UsedLPIDs = t.dev.Load(t.nextLPID) &^ core.DirtyFlag
+	s.UsedLPIDs = core.PCASRead(t.dev, t.nextLPID)
 	level := []uint64{RootLPID}
 	for len(level) > 0 {
 		s.Height++

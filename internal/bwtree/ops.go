@@ -161,6 +161,7 @@ func (h *Handle) writeOnce(key, value, typ uint64) error {
 		if err != nil {
 			return err
 		}
+		//lint:allow rawload — baseline mode installs deltas with plain CAS (paper §6.2), outside the dirty-bit protocol
 		if !t.dev.CAS(t.mappingOff(leafLPID), uint64(v.head), uint64(delta)) {
 			_ = t.alloc.Free(delta)
 			return errRetry

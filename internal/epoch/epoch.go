@@ -70,13 +70,47 @@ func NewManager() *Manager {
 
 // Register adds a participant and returns its Guard. Guards are
 // goroutine-affine in the same way the paper's threads are: a Guard must
-// not be used concurrently from multiple goroutines.
+// not be used concurrently from multiple goroutines. In particular, do
+// not hand a guard to a new goroutine:
+//
+//	g := m.Register()
+//	go func() { g.Enter(); ... }() // WRONG: register inside the goroutine
+//
+// (pmwcaslint's guardpair analyzer reports this pattern.)
 func (m *Manager) Register() *Guard {
 	g := &Guard{mgr: m}
 	m.mu.Lock()
 	m.guards = append(m.guards, g)
 	m.mu.Unlock()
 	return g
+}
+
+// Unregister removes the guard from the manager. A long-lived manager
+// serving short-lived goroutines (one guard per connection, say) must
+// unregister, or the guard list grows without bound and every Collect
+// scans dead entries. The guard must not be active; unregistering while
+// inside an epoch would silently unpin memory another thread still
+// protects, so that is a panic. After Unregister the guard is dead:
+// any further Enter panics.
+func (m *Manager) Unregister(g *Guard) {
+	if g.mgr != m {
+		panic("epoch: Unregister of a guard from a different manager")
+	}
+	if g.Active() {
+		panic("epoch: Unregister of an active guard (missing Exit)")
+	}
+	g.dead = true
+	m.mu.Lock()
+	for i, o := range m.guards {
+		if o == g {
+			last := len(m.guards) - 1
+			m.guards[i] = m.guards[last]
+			m.guards[last] = nil
+			m.guards = m.guards[:last]
+			break
+		}
+	}
+	m.mu.Unlock()
 }
 
 // Epoch returns the current global epoch.
@@ -106,13 +140,12 @@ func (m *Manager) Defer(fn Callback) {
 func (m *Manager) minProtected() uint64 {
 	min := ^uint64(0)
 	m.mu.Lock()
-	guards := m.guards
-	m.mu.Unlock()
-	for _, g := range guards {
+	for _, g := range m.guards {
 		if e := g.epoch.Load(); e != idle && e < min {
 			min = e
 		}
 	}
+	m.mu.Unlock()
 	return min
 }
 
@@ -186,12 +219,25 @@ type Guard struct {
 	mgr   *Manager
 	epoch atomic.Uint64 // idle or the epoch this guard is pinned in
 	depth int           // reentrancy count; single-goroutine access only
+	dead  bool          // set by Unregister; any further Enter panics
 }
 
 // Enter pins the guard in the current global epoch. Enter/Exit pairs may
 // nest; only the outermost pair changes the pinned epoch. While pinned,
 // memory retired at this epoch or later cannot be reclaimed.
+//
+// Enter panics on a guard that was never registered (a zero Guard) or
+// that has been unregistered. Such a guard is invisible to minProtected,
+// so "protection" through it would be silent use-after-free: the manager
+// would reclaim memory the caller believes is pinned. Failing loudly here
+// turns that heisenbug into an immediate stack trace.
 func (g *Guard) Enter() {
+	if g.mgr == nil {
+		panic("epoch: Enter on an unregistered Guard (obtain guards from Manager.Register)")
+	}
+	if g.dead {
+		panic("epoch: Enter on an unregistered guard (Unregister already ran)")
+	}
 	if g.depth == 0 {
 		g.epoch.Store(g.mgr.global.Load())
 	}

@@ -1,6 +1,11 @@
+//lint:file-allow guardpair — lifecycle tests pin and release the epoch at explicit
+// points (Exit mid-test, between Collects); a t.Fatal path stranding a guard only
+// happens in an already-failed test.
+
 package epoch
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -234,4 +239,67 @@ func BenchmarkDeferCollect(b *testing.B) {
 		}
 	}
 	m.Drain()
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, want) {
+			t.Fatalf("panic = %v; want substring %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestEnterOnZeroGuardPanics(t *testing.T) {
+	var g Guard
+	mustPanic(t, "unregistered", g.Enter)
+}
+
+func TestEnterAfterUnregisterPanics(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	g.Enter()
+	g.Exit()
+	m.Unregister(g)
+	mustPanic(t, "unregistered", g.Enter)
+}
+
+func TestUnregisterActiveGuardPanics(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	g.Enter()
+	mustPanic(t, "active", func() { m.Unregister(g) })
+	g.Exit()
+}
+
+func TestUnregisterForeignGuardPanics(t *testing.T) {
+	m1, m2 := NewManager(), NewManager()
+	g := m1.Register()
+	mustPanic(t, "different manager", func() { m2.Unregister(g) })
+}
+
+func TestUnregisterUnblocksReclamation(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	g.Enter()
+	// A forgotten guard that merely Exits still leaves a registry entry;
+	// Unregister removes it so minProtected no longer scans it.
+	var ran atomic.Int32
+	m.Defer(func() { ran.Add(1) })
+	if n := m.Collect(); n != 0 {
+		t.Fatalf("Collect = %d under active guard", n)
+	}
+	g.Exit()
+	m.Unregister(g)
+	if n := m.Collect(); n != 1 {
+		t.Fatalf("Collect after Unregister = %d, want 1", n)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("callback did not run")
+	}
 }

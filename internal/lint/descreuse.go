@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// DescReuse reports uses of a *core.Descriptor after Execute or Discard.
+// A descriptor is single-shot (paper §4.1): Execute hands it to the
+// helping/recycling machinery, and Discard returns it to the pool.
+// Touching it afterwards races with concurrent helpers and with the
+// pool's reuse of the slot — AddWord on an executed descriptor can
+// corrupt an unrelated in-flight PMwCAS.
+var DescReuse = &analysis.Analyzer{
+	Name: "descreuse",
+	Doc: "report a *core.Descriptor used after Execute/Discard " +
+		"(descriptors are single-shot; allocate a fresh one per operation, paper §4.1)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runDescReuse,
+}
+
+func runDescReuse(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressions(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkDescReuse(pass, sup, cfgs.FuncDecl(fn))
+			}
+		case *ast.FuncLit:
+			checkDescReuse(pass, sup, cfgs.FuncLit(fn))
+		}
+	})
+	return nil, nil
+}
+
+// descEvent is one descriptor-relevant action in source order.
+type descEvent struct {
+	pos  token.Pos
+	v    *types.Var
+	kind int // 0 = use, 1 = kill (Execute/Discard), 2 = assign (rebind)
+}
+
+const (
+	evUse = iota
+	evKill
+	evAssign
+)
+
+func checkDescReuse(pass *analysis.Pass, sup *suppressions, g *cfg.CFG) {
+	if g == nil {
+		return
+	}
+	info := pass.TypesInfo
+	isDesc := func(t types.Type) bool { return t != nil && isNamed(t, corePath, "Descriptor") }
+
+	// Collect events per block, in source order. Nested FuncLits are
+	// skipped (they have their own CFG); so are deferred calls.
+	events := make([][]descEvent, len(g.Blocks))
+	sawKill := false
+	for i, b := range g.Blocks {
+		killRecvs := make(map[token.Pos]bool) // recv ident positions of kill calls
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(x ast.Node) bool {
+				switch c := x.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.AssignStmt:
+					for _, lhs := range c.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						var obj types.Object
+						if c.Tok == token.DEFINE {
+							obj = info.Defs[id]
+						} else {
+							obj = info.Uses[id]
+						}
+						if v, ok := obj.(*types.Var); ok && isDesc(v.Type()) {
+							events[i] = append(events[i], descEvent{id.Pos(), v, evAssign})
+						}
+					}
+				case *ast.CallExpr:
+					name, recv, recvType, ok := methodCall(info, c)
+					if !ok || !isDesc(recvType) {
+						return true
+					}
+					if name != "Execute" && name != "Discard" {
+						return true
+					}
+					id, ok := ast.Unparen(recv).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						killRecvs[id.Pos()] = true
+						events[i] = append(events[i], descEvent{c.Pos(), v, evKill})
+						sawKill = true
+					}
+				case *ast.Ident:
+					if v, ok := info.Uses[c].(*types.Var); ok && isDesc(v.Type()) && !killRecvs[c.Pos()] {
+						events[i] = append(events[i], descEvent{c.Pos(), v, evUse})
+					}
+				}
+				return true
+			})
+		}
+		// The receiver idents of kill calls were visited before the call
+		// node itself was classified; drop them retroactively.
+		if len(killRecvs) > 0 {
+			kept := events[i][:0]
+			for _, e := range events[i] {
+				if e.kind == evUse && killRecvs[e.pos] {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			events[i] = kept
+		}
+		sort.SliceStable(events[i], func(a, b int) bool { return events[i][a].pos < events[i][b].pos })
+	}
+	if !sawKill {
+		return
+	}
+
+	// Forward dataflow: the set of dead descriptors at block entry.
+	in := make([]map[*types.Var]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = make(map[*types.Var]bool)
+	}
+	apply := func(state map[*types.Var]bool, evs []descEvent) map[*types.Var]bool {
+		out := make(map[*types.Var]bool, len(state))
+		for v := range state {
+			out[v] = true
+		}
+		for _, e := range evs {
+			switch e.kind {
+			case evKill:
+				out[e.v] = true
+			case evAssign:
+				delete(out, e.v)
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, b := range g.Blocks {
+			out := apply(in[i], events[i])
+			for _, succ := range b.Succs {
+				for v := range out {
+					if !in[succ.Index][v] {
+						in[succ.Index][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for i := range g.Blocks {
+		state := make(map[*types.Var]bool, len(in[i]))
+		for v := range in[i] {
+			state[v] = true
+		}
+		for _, e := range events[i] {
+			switch e.kind {
+			case evKill:
+				state[e.v] = true
+			case evAssign:
+				delete(state, e.v)
+			case evUse:
+				if state[e.v] && !reported[e.pos] {
+					reported[e.pos] = true
+					if ok, note := sup.allowed(e.pos, "descreuse"); !ok {
+						pass.Reportf(e.pos,
+							"descriptor %s used after Execute/Discard; descriptors are single-shot — "+
+								"allocate a fresh one with AllocateDescriptor (paper §4.1)%s", e.v.Name(), note)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// FlagMask reports comparisons of raw-loaded PMwCAS words against plain
+// values without first masking the reserved flag bits. A word read with
+// Device.Load can carry DirtyFlag / MwCASFlag / RDCSSFlag in its top
+// bits; `load == plain` is then false even when the payloads agree, and
+// code that acts on the comparison acts on a value that is not yet
+// durable (paper §3, §4.2).
+var FlagMask = &analysis.Analyzer{
+	Name: "flagmask",
+	Doc: "report ==/!=/switch on a raw-loaded PMwCAS word without masking reserved bits " +
+		"(mask with &^ core.DirtyFlag or &^ core.FlagsMask before comparing)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFlagMask,
+}
+
+// coreFlagNames are the names whose presence in a comparison operand
+// shows the author is reasoning about flag bits deliberately.
+var coreFlagNames = map[string]bool{
+	"DirtyFlag":   true,
+	"MwCASFlag":   true,
+	"RDCSSFlag":   true,
+	"FlagsMask":   true,
+	"AddressMask": true,
+}
+
+func runFlagMask(pass *analysis.Pass) (interface{}, error) {
+	if pkgExempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	managed := managedSet(pass)
+	if len(managed) == 0 {
+		return nil, nil
+	}
+	sup := newSuppressions(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// taints records, per variable, the positions of assignments whose
+	// right-hand side is a raw Device.Load of a managed word (tainted)
+	// or anything else (clean). A use is tainted if the latest assignment
+	// before it is tainted.
+	type assign struct {
+		pos     token.Pos
+		tainted bool
+	}
+	taints := make(map[*types.Var][]assign)
+
+	rawManagedLoad := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		if m, ok := deviceCall(pass.TypesInfo, call); !ok || m != "Load" {
+			return false
+		}
+		_, shares := sharesFingerprint(pass.TypesInfo, call.Args[0], managed)
+		return shares
+	}
+
+	skip := func(pos token.Pos) bool {
+		if isTestFile(pass.Fset, pos) {
+			return true
+		}
+		f := fileAt(pass, pos)
+		return f == nil || !refersToCore(f)
+	}
+
+	// Pass A: collect assignments.
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		as := n.(*ast.AssignStmt)
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = pass.TypesInfo.Defs[id]
+			} else {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				continue
+			}
+			taints[v] = append(taints[v], assign{id.Pos(), rawManagedLoad(as.Rhs[i])})
+		}
+	})
+	for _, as := range taints {
+		sort.Slice(as, func(i, j int) bool { return as[i].pos < as[j].pos })
+	}
+
+	taintedAt := func(v *types.Var, pos token.Pos) bool {
+		latest := assign{token.NoPos, false}
+		for _, a := range taints[v] {
+			if a.pos < pos && a.pos > latest.pos {
+				latest = a
+			}
+		}
+		return latest.tainted
+	}
+
+	// taintedOperand reports whether e is a tainted value: a raw managed
+	// load itself, or a variable currently tainted by one.
+	taintedOperand := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if rawManagedLoad(e) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				return taintedAt(v, id.Pos())
+			}
+		}
+		return false
+	}
+
+	containsFlagName := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				id = x.Sel
+			case *ast.Ident:
+				id = x
+			default:
+				return true
+			}
+			if !coreFlagNames[id.Name] {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	report := func(pos token.Pos, what string) {
+		if skip(pos) {
+			return
+		}
+		ok, note := sup.allowed(pos, "flagmask")
+		if ok {
+			return
+		}
+		pass.Reportf(pos,
+			"%s of a raw-loaded PMwCAS word without masking its reserved bits; "+
+				"mask with &^ core.DirtyFlag (or &^ core.FlagsMask), or read via core.PCASRead (paper §3)%s",
+			what, note)
+	}
+
+	// Pass B: find unmasked comparisons and switches.
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return
+			}
+			lt, rt := taintedOperand(x.X), taintedOperand(x.Y)
+			if !lt && !rt {
+				return
+			}
+			// Comparing against an expression that names the flag bits is
+			// deliberate flag inspection, not a payload comparison.
+			if lt && containsFlagName(x.Y) || rt && containsFlagName(x.X) {
+				return
+			}
+			report(x.OpPos, "comparison ("+x.Op.String()+")")
+		case *ast.SwitchStmt:
+			if x.Tag == nil || !taintedOperand(x.Tag) {
+				return
+			}
+			report(x.Tag.Pos(), "switch")
+		}
+	})
+	return nil, nil
+}
+
+// fileAt returns the *ast.File in pass.Files containing pos.
+func fileAt(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// GuardPair enforces the epoch-guard contract (paper §5.1): a function
+// that calls Guard.Enter must guarantee a matching Guard.Exit on every
+// path that leaves the function — in practice `defer g.Exit()` — and a
+// Guard must never cross a goroutine boundary: guards are
+// goroutine-affine, and a guard shared between goroutines corrupts the
+// manager's minimum-protected-epoch computation.
+var GuardPair = &analysis.Analyzer{
+	Name: "guardpair",
+	Doc: "report Guard.Enter without a matching Guard.Exit on all return paths (use defer g.Exit()), " +
+		"and epoch.Guard values escaping to other goroutines (guards are goroutine-affine, §5.1)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runGuardPair,
+}
+
+func runGuardPair(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressions(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil), (*ast.GoStmt)(nil)}, func(n ast.Node) {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkGuardBalance(pass, sup, fn.Body, cfgs.FuncDecl(fn))
+			}
+		case *ast.FuncLit:
+			checkGuardBalance(pass, sup, fn.Body, cfgs.FuncLit(fn))
+		case *ast.GoStmt:
+			checkGuardEscape(pass, sup, fn)
+		}
+	})
+	return nil, nil
+}
+
+// isGuardMethod reports whether call invokes Enter or Exit on an
+// epoch.Guard, returning the method name and a stable key for the
+// receiver expression.
+func isGuardMethod(info *types.Info, call *ast.CallExpr) (method, key string, ok bool) {
+	name, recv, recvType, isM := methodCall(info, call)
+	if !isM || (name != "Enter" && name != "Exit") || !isNamed(recvType, epochPath, "Guard") {
+		return "", "", false
+	}
+	return name, types.ExprString(recv), true
+}
+
+// guardEvent is one Enter/Exit call in source order within a CFG block.
+type guardEvent struct {
+	pos   token.Pos
+	key   string
+	enter bool
+}
+
+// scanGuardEvents collects Enter/Exit events in the subtree, excluding
+// nested function literals (they run on their own schedule) and deferred
+// calls (a deferred Exit is handled separately as the blessed pattern).
+func scanGuardEvents(info *types.Info, n ast.Node, out *[]guardEvent) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch c := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if method, key, ok := isGuardMethod(info, c); ok {
+				*out = append(*out, guardEvent{c.Pos(), key, method == "Enter"})
+			}
+		}
+		return true
+	})
+}
+
+// checkGuardBalance verifies that every Enter in body is covered by a
+// deferred Exit or balanced by explicit Exits on all paths to return.
+func checkGuardBalance(pass *analysis.Pass, sup *suppressions, body *ast.BlockStmt, g *cfg.CFG) {
+	info := pass.TypesInfo
+
+	// Receivers with a `defer key.Exit()` anywhere in the function are
+	// covered on every path, including panics.
+	deferred := make(map[string]bool)
+	var enters []guardEvent
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch c := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if method, key, ok := isGuardMethod(info, c.Call); ok && method == "Exit" {
+				deferred[key] = true
+			}
+			return false
+		case *ast.CallExpr:
+			if method, key, ok := isGuardMethod(info, c); ok && method == "Enter" {
+				enters = append(enters, guardEvent{c.Pos(), key, true})
+			}
+		}
+		return true
+	})
+	if len(enters) == 0 || g == nil {
+		return
+	}
+	keys := make(map[string]token.Pos) // unprotected keys -> first Enter pos
+	for _, e := range enters {
+		if !deferred[e.key] {
+			if _, seen := keys[e.key]; !seen {
+				keys[e.key] = e.pos
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+
+	// Forward dataflow: the set of guard keys held open at block entry.
+	// Merging with union over-approximates (any path leaving a guard open
+	// is a bug), which is exactly the conservative direction we want.
+	events := make([][]guardEvent, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			scanGuardEvents(info, node, &events[i])
+		}
+	}
+	in := make([]map[string]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = make(map[string]bool)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i, b := range g.Blocks {
+			out := applyGuardEvents(in[i], events[i])
+			for _, succ := range b.Succs {
+				for k := range out {
+					if !in[succ.Index][k] {
+						in[succ.Index][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	reported := make(map[string]bool)
+	for i, b := range g.Blocks {
+		if len(b.Succs) > 0 || !b.Live || endsInPanic(b) {
+			continue
+		}
+		out := applyGuardEvents(in[i], events[i])
+		for key := range out {
+			pos, unprotected := keys[key]
+			if !unprotected || reported[key] {
+				continue
+			}
+			reported[key] = true
+			if ok, note := sup.allowed(pos, "guardpair"); !ok {
+				pass.Reportf(pos,
+					"%s.Enter() is not matched by an Exit on every return path; use `defer %s.Exit()` "+
+						"(an open guard pins the epoch and blocks reclamation forever, paper §5.1)%s",
+					key, key, note)
+			}
+		}
+	}
+}
+
+func applyGuardEvents(in map[string]bool, events []guardEvent) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	for _, e := range events {
+		if e.enter {
+			out[e.key] = true
+		} else {
+			delete(out, e.key)
+		}
+	}
+	return out
+}
+
+// endsInPanic reports whether the block's last node is a call to the
+// panic builtin: a panicking path is allowed to leave a guard open (the
+// process is going down; deferred Exits still run where they exist).
+func endsInPanic(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	stmt, ok := b.Nodes[len(b.Nodes)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// checkGuardEscape reports epoch.Guard values crossing into a goroutine:
+// as arguments of the go call, or captured by the goroutine's function
+// literal.
+func checkGuardEscape(pass *analysis.Pass, sup *suppressions, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	isGuardType := func(t types.Type) bool { return t != nil && isNamed(t, epochPath, "Guard") }
+
+	report := func(pos token.Pos, how string) {
+		if ok, note := sup.allowed(pos, "guardpair"); !ok {
+			pass.Reportf(pos,
+				"epoch.Guard %s; guards are goroutine-affine — call Register() in the new goroutine instead (paper §5.1)%s",
+				how, note)
+		}
+	}
+
+	for _, arg := range g.Call.Args {
+		if isGuardType(info.TypeOf(arg)) {
+			report(arg.Pos(), "passed as an argument to a goroutine")
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !isGuardType(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			report(id.Pos(), "captured by a goroutine closure")
+		}
+		return true
+	})
+}

@@ -1,0 +1,365 @@
+// Package lint implements pmwcaslint: a suite of go/analysis analyzers
+// that mechanically enforce the invariants the PMwCAS paper states in
+// prose and this repository previously enforced only by comment and code
+// review.
+//
+// The analyzers and the paper rules they encode:
+//
+//   - rawload (§3, §4.2): outside internal/core and internal/nvram, a
+//     PMwCAS-managed word must not be read or swapped with a direct
+//     Device.Load / Device.CAS. Reads must go through core.PCASRead or
+//     (*core.Handle).Read, which flush a dirty word before acting on it;
+//     swaps must go through core.PCAS or a descriptor.
+//   - flagmask (§3, §4.2): a raw-loaded protocol word carries reserved
+//     bits (DirtyFlag, MwCASFlag, RDCSSFlag); comparing it against a
+//     plain value with ==, != or switch without masking is a latent
+//     recovery bug.
+//   - guardpair (§5.1): every Guard.Enter must be matched by Guard.Exit
+//     on all paths out of the function (in practice: defer g.Exit()),
+//     and a Guard must never escape to another goroutine — guards are
+//     goroutine-affine.
+//   - storefence (§3): a Device.Store to persistent memory that is never
+//     followed by a Flush (and Fence) on any path publishes volatile
+//     state; a crash silently discards it.
+//   - descreuse (§4.1): a descriptor is single-shot; after Execute or
+//     Discard it belongs to the pool's recycling machinery and must not
+//     be touched again.
+//
+// # What "PMwCAS-managed" means to the analyzers
+//
+// The analyzers cannot know at compile time which arena words a PMwCAS
+// will ever target, so they approximate: within a package, every offset
+// expression passed to a protocol operation (core.PCAS, core.PCASRead,
+// core.PCASFlush, core.Persist, Descriptor.AddWord / AddWordWithPolicy /
+// ReserveEntry / RemoveWord, Handle.Read) contributes its named
+// components — package-level constants, struct fields, and helper
+// functions such as linkOff or mappingOff — to the package's managed
+// fingerprint set. A raw Device access whose offset shares a fingerprint
+// with that set is operating on protocol-managed words and is reported.
+// Offsets built purely from unmanaged names (immutable node fields,
+// record payloads, root words delivered by the allocator) are not
+// flagged; reading those raw is the documented idiom of this codebase.
+//
+// Files that never reference pmwcas/internal/core are exempt from the
+// persistence-protocol analyzers (rawload, flagmask, storefence): by
+// construction they do not participate in the PMwCAS protocol (the
+// volatile single-word-CAS baselines the paper measures against live in
+// such files). Test files are likewise exempt from those three —
+// crash-recovery tests poke raw durable state on purpose — but not from
+// guardpair or descreuse, whose contracts bind everywhere.
+//
+// # Suppressions
+//
+// A deliberate violation is silenced with a line comment on the flagged
+// line or the line above:
+//
+//	//lint:allow rawload — inspecting raw words is this tool's purpose
+//
+// or for a whole file (volatile baselines, recovery tooling):
+//
+//	//lint:file-allow rawload — single-word-CAS baseline (§6.1), words carry no PMwCAS flags
+//
+// A suppression must name the analyzer and carry a reason after a
+// separator (—, --, or :). A reasonless suppression is ignored and the
+// underlying diagnostic is reported with a note, so the merge gate
+// cannot be waved through silently.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Import paths of the packages whose types the analyzers key on.
+const (
+	nvramPath = "pmwcas/internal/nvram"
+	corePath  = "pmwcas/internal/core"
+	epochPath = "pmwcas/internal/epoch"
+)
+
+// Analyzers is the full pmwcaslint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	RawLoad,
+	FlagMask,
+	GuardPair,
+	StoreFence,
+	DescReuse,
+}
+
+// isNamed reports whether t (after pointer indirection) is the named type
+// path.name.
+func isNamed(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// methodCall resolves call as a method invocation and returns the method
+// name and receiver expression. ok is false for plain function calls.
+func methodCall(info *types.Info, call *ast.CallExpr) (name string, recv ast.Expr, recvType types.Type, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, nil, false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return "", nil, nil, false
+	}
+	return sel.Sel.Name, sel.X, selection.Recv(), true
+}
+
+// deviceCall reports whether call invokes the named method on
+// *nvram.Device, returning the method name.
+func deviceCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name, _, recv, ok := methodCall(info, call)
+	if !ok || !isNamed(recv, nvramPath, "Device") {
+		return "", false
+	}
+	return name, true
+}
+
+// pkgFunc reports whether call invokes the package-level function
+// path.name (e.g. core.PCASRead).
+func pkgFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != corePath {
+		return "", false
+	}
+	if _, isMethod := info.Selections[sel]; isMethod {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// protocolOffsetArg returns the offset argument of a PMwCAS protocol
+// operation, or nil if call is not one. These are the operations whose
+// targets define the package's managed word set.
+func protocolOffsetArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if name, recv, _, ok := methodCall(info, call); ok {
+		switch {
+		case isNamedRecv(info, recv, corePath, "Descriptor"):
+			switch name {
+			case "AddWord", "AddWordWithPolicy", "ReserveEntry", "RemoveWord":
+				if len(call.Args) > 0 {
+					return call.Args[0]
+				}
+			}
+		case isNamedRecv(info, recv, corePath, "Handle"):
+			if name == "Read" && len(call.Args) > 0 {
+				return call.Args[0]
+			}
+		}
+		return nil
+	}
+	if name, ok := pkgFunc(info, call); ok {
+		switch name {
+		case "PCAS", "PCASFlush", "PCASRead", "Persist":
+			if len(call.Args) > 1 {
+				return call.Args[1]
+			}
+		}
+	}
+	return nil
+}
+
+func isNamedRecv(info *types.Info, recv ast.Expr, path, name string) bool {
+	t := info.TypeOf(recv)
+	return t != nil && isNamed(t, path, name)
+}
+
+// fingerprints collects the named components of an offset expression:
+// struct fields and package-level constants/variables it selects, and
+// the helper functions it calls. Locals and parameters are deliberately
+// excluded — they name a value, not a layout location.
+func fingerprints(info *types.Info, expr ast.Expr, out map[string]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			// Skip the selector of a type conversion like nvram.Offset(v).
+			if tv, ok := info.Types[x]; ok && tv.IsType() {
+				return false
+			}
+			out[x.Sel.Name] = true
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion: fingerprint the operand only
+			}
+			switch f := x.Fun.(type) {
+			case *ast.Ident:
+				out[f.Name] = true
+			case *ast.SelectorExpr:
+				out[f.Sel.Name] = true
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			switch obj.(type) {
+			case *types.Const, *types.Var:
+				// Only package-level names describe layout; struct fields
+				// arrive via SelectorExpr above.
+				if obj.Parent() == obj.Pkg().Scope() {
+					out[x.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// managedSet computes the package's managed fingerprint set: the union
+// of fingerprints of every offset passed to a protocol operation.
+func managedSet(pass *analysis.Pass) map[string]bool {
+	set := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if off := protocolOffsetArg(pass.TypesInfo, call); off != nil {
+				fingerprints(pass.TypesInfo, off, set)
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// sharesFingerprint reports whether the offset expression names any
+// managed layout component, and returns one matching name for the
+// diagnostic.
+func sharesFingerprint(info *types.Info, expr ast.Expr, managed map[string]bool) (string, bool) {
+	own := make(map[string]bool)
+	fingerprints(info, expr, own)
+	for name := range own {
+		if managed[name] {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// refersToCore reports whether the file imports pmwcas/internal/core.
+// Files that never touch core are outside the PMwCAS persistence
+// protocol (volatile baselines, raw substrate) and exempt from the
+// protocol analyzers.
+func refersToCore(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == corePath {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
+}
+
+// ---- suppression comments ---------------------------------------------
+
+// allowRE matches //lint:allow and //lint:file-allow comments. Group 1 is
+// "file-" or empty, group 2 the analyzer list, group 3 the reason.
+var allowRE = regexp.MustCompile(`^//\s*lint:(file-)?allow\s+([a-z][a-z0-9_,\s]*?)\s*(?:(?:—|--|:)\s*(.*\S)?)?\s*$`)
+
+// suppressions indexes the //lint:allow comments of one package.
+type suppressions struct {
+	fset *token.FileSet
+	// lines maps filename -> line -> analyzer names allowed on that line
+	// (a line comment covers its own line and the one below it).
+	lines map[string]map[int][]string
+	// files maps filename -> analyzer names allowed for the whole file.
+	files map[string][]string
+	// bad holds positions of reasonless suppressions, noted in diagnostics.
+	bad map[string]map[int]bool
+}
+
+func newSuppressions(pass *analysis.Pass) *suppressions {
+	s := &suppressions{
+		fset:  pass.Fset,
+		lines: make(map[string]map[int][]string),
+		files: make(map[string][]string),
+		bad:   make(map[string]map[int]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := s.fset.Position(c.Pos())
+				names := splitNames(m[2])
+				if m[3] == "" {
+					// Reasonless: record so diagnostics can say why the
+					// suppression did not take.
+					if s.bad[pos.Filename] == nil {
+						s.bad[pos.Filename] = make(map[int]bool)
+					}
+					s.bad[pos.Filename][pos.Line] = true
+					continue
+				}
+				if m[1] == "file-" {
+					s.files[pos.Filename] = append(s.files[pos.Filename], names...)
+					continue
+				}
+				if s.lines[pos.Filename] == nil {
+					s.lines[pos.Filename] = make(map[int][]string)
+				}
+				s.lines[pos.Filename][pos.Line] = append(s.lines[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+func splitNames(list string) []string {
+	var out []string
+	for _, n := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// allowed reports whether a diagnostic for analyzer name at pos is
+// suppressed. note is non-empty when a malformed (reasonless)
+// suppression was found nearby; analyzers append it to the diagnostic.
+func (s *suppressions) allowed(pos token.Pos, name string) (ok bool, note string) {
+	p := s.fset.Position(pos)
+	for _, n := range s.files[p.Filename] {
+		if n == name {
+			return true, ""
+		}
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range s.lines[p.Filename][line] {
+			if n == name {
+				return true, ""
+			}
+		}
+	}
+	if s.bad[p.Filename][p.Line] || s.bad[p.Filename][p.Line-1] {
+		return false, " (note: a lint:allow comment without a reason is ignored — add one after “—”)"
+	}
+	return false, ""
+}

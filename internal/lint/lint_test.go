@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pmwcas/internal/lint"
+	"pmwcas/internal/lint/linttest"
+)
+
+func TestRawLoad(t *testing.T)   { linttest.Run(t, linttest.TestData(t), lint.RawLoad, "rawload") }
+func TestFlagMask(t *testing.T)  { linttest.Run(t, linttest.TestData(t), lint.FlagMask, "flagmask") }
+func TestGuardPair(t *testing.T) { linttest.Run(t, linttest.TestData(t), lint.GuardPair, "guardpair") }
+func TestStoreFence(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.StoreFence, "storefence")
+}
+func TestDescReuse(t *testing.T) { linttest.Run(t, linttest.TestData(t), lint.DescReuse, "descreuse") }

@@ -1,0 +1,301 @@
+// Package linttest is a self-contained fixture runner for the pmwcaslint
+// analyzers — the role golang.org/x/tools/go/analysis/analysistest plays
+// for ordinary analyzers. analysistest (and go/packages, which it loads
+// through) is not part of the x/tools subset vendored here, so this
+// package hand-rolls the two things a fixture run needs:
+//
+//   - type information for fixture files that import the real
+//     pmwcas/internal/{core,nvram,epoch} packages — obtained by asking
+//     `go list -export` for the compiler's export data and feeding it to
+//     the gc importer, entirely offline;
+//   - a mini analysis driver that runs an analyzer's Requires closure
+//     (inspect, ctrlflow) in dependency order with an in-memory fact
+//     store, then diffs the diagnostics against `// want` comments.
+//
+// Fixture packages live in testdata/src/<dir> (the go tool never matches
+// testdata, so deliberately-violating fixtures are invisible to
+// `go build ./...` and to pmwcaslint's CI sweep over the tree).
+//
+// Expectations use analysistest's notation: a comment
+//
+//	// want `regexp`
+//
+// on a line asserts that the analyzer reports a diagnostic on that line
+// whose message matches the regexp. Every diagnostic must be claimed by
+// a want, and every want must be matched, or the test fails.
+package linttest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// rootPackages are the real packages fixtures may import; their export
+// data (and that of their transitive dependencies, including std) is
+// loaded once per test binary.
+var rootPackages = []string{
+	"pmwcas/internal/nvram",
+	"pmwcas/internal/core",
+	"pmwcas/internal/epoch",
+	"pmwcas/internal/alloc",
+}
+
+var (
+	exportOnce  sync.Once
+	exportFiles map[string]string // import path -> export data file
+	exportErr   error
+)
+
+func loadExports() {
+	args := append([]string{"list", "-export", "-json=ImportPath,Export", "-deps"}, rootPackages...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		exportErr = fmt.Errorf("go list -export: %w", err)
+		return
+	}
+	exportFiles = make(map[string]string)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			exportErr = fmt.Errorf("decoding go list output: %w", err)
+			return
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one `// want` assertion.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from a file's comments. The payload is
+// a sequence of Go string literals (usually backquoted regexps).
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				lit, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want payload %q", pos.Filename, pos.Line, rest)
+				}
+				rest = strings.TrimSpace(rest[len(lit):])
+				unq, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: cannot unquote %q", pos.Filename, pos.Line, lit)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+				}
+				wants = append(wants, expectation{pos.Filename, pos.Line, re, unq})
+			}
+		}
+	}
+	return wants
+}
+
+// diagnostic is one reported finding, resolved to a position.
+type diagnostic struct {
+	file    string
+	line    int
+	message string
+}
+
+// Run loads the fixture package at <testdata>/src/<dir>, runs analyzer a
+// (and its Requires) over it, and checks the diagnostics against the
+// fixture's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	exportOnce.Do(loadExports)
+	if exportErr != nil {
+		t.Fatal(exportErr)
+	}
+
+	pkgDir := filepath.Join(testdata, "src", dir)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("no fixture files in %s", pkgDir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []expectation
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q (add it to rootPackages?)", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check("fixtures/"+dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	var diags []diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	// objFacts is a process-local fact store, enough for ctrlflow's
+	// noReturn facts within the fixture package (cross-package facts are
+	// simply absent: fixtures use panic() for no-return paths).
+	objFacts := make(map[objFactKey]analysis.Fact)
+	var run func(an *analysis.Analyzer) error
+	run = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: conf.Sizes,
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if an != a {
+					return // diagnostics of prerequisite analyzers are not under test
+				}
+				pos := fset.Position(d.Pos)
+				diags = append(diags, diagnostic{pos.Filename, pos.Line, d.Message})
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				f, ok := objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				}
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			ReadFile:          os.ReadFile,
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := run(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// Match diagnostics against expectations: every want must be hit by a
+	// diagnostic on its line, every diagnostic must be claimed by a want.
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !claimed[i] && d.file == w.file && d.line == w.line && w.re.MatchString(d.message) {
+				claimed[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.message)
+		}
+	}
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}

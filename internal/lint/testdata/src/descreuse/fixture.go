@@ -1,0 +1,66 @@
+// Fixtures for the descreuse analyzer: a descriptor is single-shot;
+// after Execute or Discard it must not be touched again.
+package descreuse
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+func badAddAfterExecute(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	if err := d.AddWord(addr, 0, 1); err != nil {
+		return err
+	}
+	if _, err := d.Execute(); err != nil {
+		return err
+	}
+	return d.AddWord(addr, 1, 2) // want `used after Execute/Discard`
+}
+
+func badUseAfterDiscard(h *core.Handle) int {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return 0
+	}
+	_ = d.Discard()
+	return d.WordCount() // want `used after Execute/Discard`
+}
+
+func goodFreshAllocation(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	if _, err := d.Execute(); err != nil {
+		return err
+	}
+	d, err = h.AllocateDescriptor(0) // rebinding revives the variable
+	if err != nil {
+		return err
+	}
+	return d.AddWord(addr, 0, 1)
+}
+
+func goodSingleShot(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	if err := d.AddWord(addr, 0, 1); err != nil {
+		_ = d.Discard()
+		return err
+	}
+	_, err = d.Execute()
+	return err
+}
+
+func goodSuppressed(h *core.Handle) nvram.Offset {
+	d, _ := h.AllocateDescriptor(0)
+	_, _ = d.Execute()
+	//lint:allow descreuse — Offset is a stable identity, safe to read after retirement
+	return d.Offset()
+}

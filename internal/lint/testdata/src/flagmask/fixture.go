@@ -1,0 +1,58 @@
+// Fixtures for the flagmask analyzer. b.word is a managed fingerprint
+// (passed to core.PCAS), so raw Device.Load of it yields a value that may
+// carry reserved flag bits.
+package flagmask
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+type box struct {
+	dev  *nvram.Device
+	word nvram.Offset
+}
+
+func (b *box) publish(old, new uint64) bool {
+	return core.PCAS(b.dev, b.word, old, new)
+}
+
+func (b *box) badDirect(expect uint64) bool {
+	return b.dev.Load(b.word) == expect // want `comparison \(==\) of a raw-loaded PMwCAS word`
+}
+
+func (b *box) badViaVar(expect uint64) bool {
+	v := b.dev.Load(b.word)
+	return v != expect // want `comparison \(!=\) of a raw-loaded PMwCAS word`
+}
+
+func (b *box) badSwitch() int {
+	v := b.dev.Load(b.word)
+	switch v { // want `switch of a raw-loaded PMwCAS word`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func (b *box) goodMasked(expect uint64) bool {
+	v := b.dev.Load(b.word)
+	v = v &^ core.FlagsMask
+	return v == expect
+}
+
+// goodFlagProbe inspects the flag bits themselves, which is deliberate
+// flag reasoning, not a payload comparison.
+func (b *box) goodFlagProbe() bool {
+	v := b.dev.Load(b.word)
+	return v&core.DirtyFlag == core.DirtyFlag
+}
+
+func (b *box) goodPCASRead(expect uint64) bool {
+	return core.PCASRead(b.dev, b.word) == expect
+}
+
+func (b *box) goodSuppressed(expect uint64) bool {
+	//lint:allow flagmask — this word is written only by recovery, which never leaves flags set
+	return b.dev.Load(b.word) == expect
+}

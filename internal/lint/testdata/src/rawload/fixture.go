@@ -1,0 +1,56 @@
+// Fixtures for the rawload analyzer. q.head and q.tail become managed
+// fingerprints of this package (they are passed to core.PCAS and
+// Handle.Read); q.payload never does.
+package rawload
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+type queue struct {
+	dev     *nvram.Device
+	head    nvram.Offset
+	tail    nvram.Offset
+	payload nvram.Offset
+}
+
+// swing marks "head" as a protocol target.
+func (q *queue) swing(old, new uint64) bool {
+	return core.PCAS(q.dev, q.head, old, new)
+}
+
+// readTail marks "tail" as a protocol target.
+func (q *queue) readTail(h *core.Handle) uint64 {
+	return h.Read(q.tail)
+}
+
+func (q *queue) badLoad() uint64 {
+	return q.dev.Load(q.head) // want `raw Device\.Load on a PMwCAS-managed word`
+}
+
+func (q *queue) badCAS(old, new uint64) bool {
+	return q.dev.CAS(q.tail, old, new) // want `raw Device\.CAS on a PMwCAS-managed word`
+}
+
+// goodUnmanaged: payload is never a protocol target; raw loads of
+// immutable or private words are the codebase's documented idiom.
+func (q *queue) goodUnmanaged() uint64 {
+	return q.dev.Load(q.payload)
+}
+
+// goodProtocol reads through the protocol.
+func (q *queue) goodProtocol() uint64 {
+	return core.PCASRead(q.dev, q.head)
+}
+
+// goodSuppressed documents a deliberate raw read.
+func (q *queue) goodSuppressed() uint64 {
+	//lint:allow rawload — recovery inspection wants the raw word, flags and all
+	return q.dev.Load(q.head)
+}
+
+func (q *queue) badReasonless() uint64 {
+	//lint:allow rawload
+	return q.dev.Load(q.head) // want `lint:allow comment without a reason`
+}

@@ -1,0 +1,16 @@
+package rawload
+
+import "pmwcas/internal/nvram"
+
+// A file that never references internal/core is outside the PMwCAS
+// persistence protocol (this is where the volatile single-word-CAS
+// baselines live) and is exempt from rawload — even though "head" is a
+// managed fingerprint of the package.
+type vqueue struct {
+	dev  *nvram.Device
+	head nvram.Offset
+}
+
+func (v *vqueue) load() uint64 {
+	return v.dev.Load(v.head) // no diagnostic: file does not import core
+}

@@ -86,8 +86,8 @@ func New(cfg Config) (*Queue, error) {
 		headAnchor: cfg.Roots.Base,
 		tailAnchor: cfg.Roots.Base + nvram.WordSize,
 	}
-	head := q.dev.Load(q.headAnchor)
-	tail := q.dev.Load(q.tailAnchor)
+	head := core.PCASRead(q.dev, q.headAnchor)
+	tail := core.PCASRead(q.dev, q.tailAnchor)
 	if head != 0 && tail != 0 {
 		return q, nil // existing queue
 	}
