@@ -28,7 +28,9 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pmwcas/internal/nvram"
 )
@@ -99,6 +101,24 @@ type Allocator struct {
 
 	handleMu   sync.Mutex
 	nextHandle int
+
+	// poisoned, when non-nil, marks this allocator as superseded (see
+	// Pool.Poison); every entry point panics with the stored reason.
+	poisoned atomic.Pointer[string]
+}
+
+// Poison marks the allocator dead: any further allocation or free through
+// it panics with the given reason. Store.Recover poisons the allocator it
+// replaces so stale handles fail loudly instead of double-allocating
+// blocks the replacement allocator also hands out.
+func (a *Allocator) Poison(reason string) {
+	a.poisoned.Store(&reason)
+}
+
+func (a *Allocator) checkPoisoned() {
+	if r := a.poisoned.Load(); r != nil {
+		panic("alloc: use of poisoned allocator: " + *r)
+	}
 }
 
 // New lays the allocator out over region and rebuilds volatile state from
@@ -234,6 +254,7 @@ type Handle struct {
 // maxHandles handles are requested — handle count is a startup-time
 // configuration, not a runtime condition.
 func (a *Allocator) NewHandle() *Handle {
+	a.checkPoisoned()
 	a.handleMu.Lock()
 	defer a.handleMu.Unlock()
 	if a.nextHandle >= a.nslots {
@@ -254,6 +275,7 @@ func (a *Allocator) NewHandle() *Handle {
 // used (internal fragmentation instead of failure).
 func (h *Handle) Alloc(size uint64, target nvram.Offset) (nvram.Offset, error) {
 	a := h.a
+	a.checkPoisoned()
 	ci := a.classFor(size)
 	if ci < 0 {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
@@ -322,6 +344,7 @@ func (a *Allocator) Free(block nvram.Offset) error {
 // yet), or leaves no record and a fully freed block. Neither leaks nor
 // double-frees a reallocated block.
 func (a *Allocator) FreeWithBarrier(block nvram.Offset, barrier func()) error {
+	a.checkPoisoned()
 	ci := a.classOf(block)
 	if ci < 0 {
 		return fmt.Errorf("%w: %#x", ErrBadBlock, block)
@@ -347,6 +370,7 @@ func (a *Allocator) FreeWithBarrier(block nvram.Offset, barrier func()) error {
 // already clear are skipped (idempotent replay after a crash). Invalid
 // offsets make the whole call fail before anything is freed.
 func (a *Allocator) FreeManyWithBarrier(blocks []nvram.Offset, barrier func()) error {
+	a.checkPoisoned()
 	for _, b := range blocks {
 		if a.classOf(b) < 0 {
 			return fmt.Errorf("%w: %#x", ErrBadBlock, b)
@@ -422,6 +446,58 @@ func (a *Allocator) Recover() (completed, rolledBack int) {
 	// Bits may have changed; rebuild the volatile free lists.
 	a.rebuildFreeLists()
 	return completed, rolledBack
+}
+
+// CheckInUse reconciles the durable allocation bitmaps against the set
+// of blocks a caller proved reachable from its structures' roots. It
+// returns an error naming every discrepancy in either direction:
+//
+//   - allocated but unreachable: a leak — no root, descriptor, or
+//     delivery record can ever free the block again;
+//   - reachable but not allocated: a use-after-free in waiting — the
+//     block can be handed out again while a structure still points at it.
+//
+// Intended for quiescent moments (crash-sweep checks, tests). Offsets in
+// reachable that are not valid block starts are reported too.
+func (a *Allocator) CheckInUse(reachable []nvram.Offset) error {
+	seen := make(map[nvram.Offset]bool, len(reachable))
+	var errs []string
+	for _, b := range reachable {
+		if a.classOf(b) < 0 {
+			errs = append(errs, fmt.Sprintf("reachable offset %#x is not a block start", b))
+			continue
+		}
+		seen[b] = true
+	}
+	for ci := range a.classes {
+		c := &a.classes[ci]
+		for i := uint64(0); i < c.count; i++ {
+			block := c.blocksBase + i*c.blockSize
+			switch allocated := a.bitTest(c, i); {
+			case allocated && !seen[block]:
+				errs = append(errs, fmt.Sprintf("leak: block %#x (size %d) allocated but unreachable", block, c.blockSize))
+			case !allocated && seen[block]:
+				errs = append(errs, fmt.Sprintf("dangling: block %#x (size %d) reachable but not allocated", block, c.blockSize))
+			}
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Strings(errs)
+	const maxShown = 8
+	if len(errs) > maxShown {
+		errs = append(errs[:maxShown], fmt.Sprintf("... and %d more", len(errs)-maxShown))
+	}
+	return fmt.Errorf("alloc: bitmap/reachability mismatch:\n  %s", joinLines(errs))
+}
+
+func joinLines(s []string) string {
+	out := s[0]
+	for _, l := range s[1:] {
+		out += "\n  " + l
+	}
+	return out
 }
 
 // InUse returns the number of allocated blocks and bytes across all

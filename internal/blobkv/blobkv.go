@@ -129,7 +129,19 @@ func (s *Store) recoverStaging() {
 			}
 		}
 		if !committed {
-			_ = s.alloc.Free(rec)
+			// The slot is the only reference to the orphaned record, so the
+			// free must be interlocked with erasing it: FreeWithBarrier
+			// clears the slot before the block re-enters the free lists. A
+			// plain Free followed by the store would leave a crash window in
+			// which the slot durably points at a block another handle has
+			// already reallocated — the next recovery would then "free" live
+			// data. (Double free is tolerated: a crash inside a previous
+			// recovery's barrier may have cleared the bitmap but not yet the
+			// slot.)
+			_ = s.alloc.FreeWithBarrier(rec, func() {
+				s.dev.Store(slot, 0)
+				s.dev.Flush(slot)
+			})
 		}
 		s.dev.Store(slot, 0)
 		s.dev.Flush(slot)

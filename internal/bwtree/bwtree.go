@@ -196,23 +196,60 @@ func New(cfg Config) (*Tree, error) {
 	}
 
 	magicOff := cfg.Meta.Base
+	stagedOff := cfg.Meta.Base + 2*nvram.WordSize
 	if t.dev.Load(magicOff) == metaMagic {
+		// Existing tree. A nonzero staging word means the crash hit inside
+		// the publish window after opportunistic eviction persisted the
+		// meta line mid-update; the staged word then still aliases the
+		// root page (New had not returned, so no operation ran). Scrub it;
+		// anything else is corruption.
+		if sv := t.dev.Load(stagedOff); sv != 0 {
+			//lint:allow rawload, flagmask — quiescent first-open scrub: a nonzero staging word proves the crash hit the init publish window, before any PMwCAS ever targeted this mapping word
+			if t.dev.Load(t.mappingOff(RootLPID)) != sv {
+				return nil, errors.New("bwtree: staging word disagrees with root mapping — image corrupt")
+			}
+			t.dev.Store(stagedOff, 0)
+			t.dev.Flush(stagedOff)
+			t.dev.Fence()
+		}
 		return t, nil // existing tree
 	}
 
-	// Fresh tree: one empty leaf as root. The magic word is persisted
-	// last, so a crash during initialization reads as "uninitialized"
-	// and the store is rebuilt from scratch.
+	// Fresh tree: one empty leaf as root, built via staged-then-published
+	// creation. The root page is delivered into a staging word on the meta
+	// line, the mapping entry is installed, and only then does one line
+	// flush publish the magic, the next-LPID counter, and a cleared
+	// staging word together. A crash before that flush reads as
+	// "uninitialized"; the staged page (and a possibly-set mapping entry
+	// pointing at it) is released here on the next open, so first
+	// initialization never leaks the root page.
+	if b := t.dev.Load(stagedOff); b != 0 {
+		if err := cfg.Allocator.FreeWithBarrier(b, func() {
+			t.dev.Store(stagedOff, 0)
+			t.dev.Flush(stagedOff)
+			rootMap := t.mappingOff(RootLPID)
+			if t.dev.Load(rootMap) == b {
+				t.dev.Store(rootMap, 0)
+				t.dev.Flush(rootMap)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("bwtree: releasing staged root %#x: %w", b, err)
+		}
+	}
 	ah := cfg.Allocator.NewHandle()
-	root, err := buildLeaf(t, ah, nil, 0, MaxKey, 0)
+	root, err := buildLeafInto(t, ah, nil, 0, MaxKey, 0, stagedOff)
 	if err != nil {
 		return nil, fmt.Errorf("bwtree: building root: %w", err)
 	}
 	t.dev.Store(t.mappingOff(RootLPID), root)
 	t.dev.Flush(t.mappingOff(RootLPID))
+	t.dev.Fence()
+	// Publish: magic, next-LPID, and cleared staging word share the meta
+	// line, so one flush makes the tree exist atomically.
 	t.dev.Store(t.nextLPID, RootLPID+1)
 	t.dev.Store(magicOff, metaMagic)
-	t.dev.Flush(magicOff) // nextLPID shares the meta line
+	t.dev.Store(stagedOff, 0)
+	t.dev.Flush(magicOff)
 	t.dev.Fence()
 	return t, nil
 }

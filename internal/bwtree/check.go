@@ -1,0 +1,187 @@
+//lint:file-allow rawload — invariant checking inspects the raw durable image of
+// a recovered (quiescent) store; going through pmwcas_read would mutate the
+// state being audited and spin on exactly the dangling descriptor pointers the
+// checker exists to detect.
+
+package bwtree
+
+import (
+	"fmt"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// Check audits the durable image of a (recovered, quiescent) Bw-tree. It
+// returns every arena block any mapping entry reaches — delta chains,
+// base pages, removed markers, and a staged-but-unpublished root — plus
+// the tree's logical contents in key order, for cross-checking the
+// allocator bitmap and a durable-linearizability oracle.
+//
+// Invariants verified:
+//
+//   - meta is either unwritten (tree absent, any staged root page
+//     corroborated by the staging word) or carries the magic and a
+//     next-LPID counter within the mapping table;
+//   - no mapping word or record header carries descriptor flags
+//     (recovery removes every descriptor pointer);
+//   - every non-zero mapping word heads a finite chain of well-typed
+//     records ending in a base page or removed marker, and no record
+//     belongs to two chains;
+//   - mapping words at or above the next-LPID counter are unwritten;
+//   - a logical descent from the root sees exact fence containment,
+//     strictly ascending keys, routed-to pages that exist and are not
+//     removed, and values with no reserved bits.
+func Check(dev *nvram.Device, mapping, meta nvram.Region) ([]nvram.Offset, []Entry, error) {
+	magicOff := meta.Base
+	nextLPIDOff := meta.Base + nvram.WordSize
+	stagedOff := meta.Base + 2*nvram.WordSize
+	nLPID := mapping.Len / nvram.WordSize
+
+	loadClean := func(off nvram.Offset, what string) (uint64, error) {
+		raw := dev.Load(off)
+		if raw&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+			return 0, fmt.Errorf("bwtree: %s holds descriptor flags: %#x", what, raw)
+		}
+		return raw &^ core.DirtyFlag, nil
+	}
+
+	staged := nvram.Offset(dev.Load(stagedOff))
+	rootMap, err := loadClean(mapping.Base+RootLPID*nvram.WordSize, "root mapping word")
+	if err != nil {
+		return nil, nil, err
+	}
+	if dev.Load(magicOff) != metaMagic {
+		// Tree not (fully) published. The staged root page, if any, is
+		// reachable through the staging word; a set root mapping word must
+		// alias it (the mapping install precedes the meta publish).
+		if rootMap != 0 && nvram.Offset(rootMap) != staged {
+			return nil, nil, fmt.Errorf("bwtree: unpublished tree has root mapping %#x but staged %#x", rootMap, staged)
+		}
+		if staged != 0 {
+			return []nvram.Offset{staged}, nil, nil
+		}
+		return nil, nil, nil
+	}
+	if staged != 0 && staged != nvram.Offset(rootMap) {
+		return nil, nil, fmt.Errorf("bwtree: staging word %#x disagrees with root mapping %#x", staged, rootMap)
+	}
+	nextLPID, err := loadClean(nextLPIDOff, "next-LPID counter")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nextLPID <= RootLPID || nextLPID > nLPID {
+		return nil, nil, fmt.Errorf("bwtree: next-LPID counter %d outside (1, %d]", nextLPID, nLPID)
+	}
+
+	// Physical pass: validate every chain any mapping word heads. This
+	// must precede the logical descent — resolve assumes well-typed
+	// records and would panic (or chase wild pointers) on a corrupt chain.
+	seen := map[nvram.Offset]uint64{} // record -> owning LPID
+	var blocks []nvram.Offset
+	for lpid := uint64(1); lpid < nLPID; lpid++ {
+		w, err := loadClean(mapping.Base+lpid*nvram.WordSize, fmt.Sprintf("mapping word %d", lpid))
+		if err != nil {
+			return nil, nil, err
+		}
+		if lpid >= nextLPID {
+			if w != 0 {
+				return nil, nil, fmt.Errorf("bwtree: mapping word %d set (%#x) but next-LPID is %d", lpid, w, nextLPID)
+			}
+			continue
+		}
+		rec := nvram.Offset(w)
+		for rec != 0 {
+			if owner, dup := seen[rec]; dup {
+				return nil, nil, fmt.Errorf("bwtree: record %#x on the chains of both LPID %d and LPID %d", rec, owner, lpid)
+			}
+			seen[rec] = lpid
+			blocks = append(blocks, rec)
+			hdr, err := loadClean(rec+recMetaOff, fmt.Sprintf("record %#x meta", rec))
+			if err != nil {
+				return nil, nil, err
+			}
+			typ := hdr & 0xff
+			if typ < recBaseLeaf || typ > recRemoved {
+				return nil, nil, fmt.Errorf("bwtree: record %#x on LPID %d has corrupt type %d", rec, lpid, typ)
+			}
+			if typ == recBaseLeaf || typ == recBaseInner || typ == recRemoved {
+				break
+			}
+			next, err := loadClean(rec+recNextOff, fmt.Sprintf("record %#x next", rec))
+			if err != nil {
+				return nil, nil, err
+			}
+			if next == 0 {
+				return nil, nil, fmt.Errorf("bwtree: delta %#x on LPID %d has no successor", rec, lpid)
+			}
+			rec = nvram.Offset(next)
+		}
+	}
+
+	// Logical pass: descend from the root with a throwaway Tree (resolve
+	// needs only the device and the mapping geometry).
+	t := &Tree{dev: dev, mapping: mapping, nLPID: nLPID, nextLPID: nextLPIDOff}
+	h := &Handle{tree: t}
+	var entries []Entry
+	var descend func(lpid uint64, low, high uint64, depth int) error
+	descend = func(lpid uint64, low, high uint64, depth int) error {
+		if depth > 64 {
+			return fmt.Errorf("bwtree: descent depth exceeds 64 at LPID %d (routing cycle?)", lpid)
+		}
+		if lpid == 0 || lpid >= nextLPID {
+			return fmt.Errorf("bwtree: routed to invalid LPID %d", lpid)
+		}
+		head := dev.Load(mapping.Base+lpid*nvram.WordSize) &^ core.DirtyFlag
+		if head == 0 {
+			return fmt.Errorf("bwtree: routed-to LPID %d has no page", lpid)
+		}
+		v := h.resolve(head)
+		if v.removed {
+			return fmt.Errorf("bwtree: routed-to LPID %d is removed", lpid)
+		}
+		if v.low != low || v.high != high {
+			return fmt.Errorf("bwtree: LPID %d fences (%#x,%#x], routing says (%#x,%#x]", lpid, v.low, v.high, low, high)
+		}
+		if v.isLeaf {
+			prev := low
+			for _, e := range v.leafEntries {
+				if e.Key <= prev || e.Key > high {
+					return fmt.Errorf("bwtree: leaf %d key %#x violates order within (%#x,%#x]", lpid, e.Key, low, high)
+				}
+				if !core.IsClean(e.Value) {
+					return fmt.Errorf("bwtree: leaf %d value %#x has reserved bits", lpid, e.Value)
+				}
+				entries = append(entries, e)
+				prev = e.Key
+			}
+			return nil
+		}
+		if len(v.innerEntries) == 0 {
+			return fmt.Errorf("bwtree: inner page %d has no routing entries", lpid)
+		}
+		childLow := low
+		for i, e := range v.innerEntries {
+			if e.Key <= childLow || e.Key > high {
+				return fmt.Errorf("bwtree: inner %d routing key %#x outside (%#x,%#x]", lpid, e.Key, childLow, high)
+			}
+			if i == len(v.innerEntries)-1 && e.Key != high {
+				return fmt.Errorf("bwtree: inner %d last routing key %#x does not reach fence %#x", lpid, e.Key, high)
+			}
+			if err := descend(e.Child, childLow, e.Key, depth+1); err != nil {
+				return err
+			}
+			childLow = e.Key
+		}
+		return nil
+	}
+	if err := descend(RootLPID, 0, MaxKey, 0); err != nil {
+		return nil, nil, err
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key <= entries[i-1].Key {
+			return nil, nil, fmt.Errorf("bwtree: global key order violated at %#x", entries[i].Key)
+		}
+	}
+	return blocks, entries, nil
+}

@@ -144,6 +144,12 @@ type Pool struct {
 
 	retires atomic.Uint64 // drives periodic epoch advancing
 
+	// poisoned, when non-nil, marks the pool as superseded (for example by
+	// Store.Recover building a fresh pool over the same region). Every
+	// entry point panics with the stored reason: a stale handle silently
+	// racing the replacement pool would corrupt the shared NVRAM image.
+	poisoned atomic.Pointer[string]
+
 	stats struct {
 		allocated, succeeded, failed, discarded, helps, reads atomic.Uint64
 	}
@@ -313,9 +319,28 @@ func (p *Pool) readStatus(d nvram.Offset) uint64 {
 	return p.dev.Load(d+descStatusOff) &^ DirtyFlag
 }
 
+// Poison marks the pool dead. Any subsequent use — new handles, reads,
+// descriptor allocation or execution — panics with the given reason.
+// Store.Recover poisons the pool it replaces: outstanding handles and
+// guards still reference it, and letting them operate on the same NVRAM
+// region as the replacement pool would be silent cross-pool corruption.
+// Failing loudly turns that into an immediate stack trace.
+func (p *Pool) Poison(reason string) {
+	p.poisoned.Store(&reason)
+}
+
+// checkPoisoned panics if the pool has been poisoned. Called on every
+// entry point; one atomic pointer load when healthy.
+func (p *Pool) checkPoisoned() {
+	if r := p.poisoned.Load(); r != nil {
+		panic("core: use of poisoned pool: " + *r)
+	}
+}
+
 // NewHandle returns a thread context for issuing PMwCAS operations.
 // Handles must not be shared between goroutines; create one per worker.
 func (p *Pool) NewHandle() *Handle {
+	p.checkPoisoned()
 	return &Handle{pool: p, guard: p.mgr.Register()}
 }
 
@@ -388,6 +413,7 @@ func (p *Pool) ReclaimPause() {
 // callback invoked when the operation's memory is recycled; 0 means the
 // default policy-based finalizer.
 func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
+	h.pool.checkPoisoned()
 	idx := h.takeIndex()
 	if idx < 0 {
 		// Reclamation may simply be lagging: push the epoch and retry once.
@@ -588,7 +614,14 @@ func (p *Pool) retire(d nvram.Offset, idx int, succeeded bool) {
 func (p *Pool) finalize(d nvram.Offset, succeeded bool) {
 	cw := p.dev.Load(d + descCountOff)
 	cbID := uint16(cw >> callbackShift & callbackIDMask)
-	view := DescriptorView{pool: p, off: d, n: int(cw & countMask)}
+	n := int(cw & countMask)
+	if n > p.kWord {
+		// Same refusal as Recover: a count beyond the descriptor's
+		// capacity is corruption, and walking the wild "entries" from here
+		// (or handing them to a callback) could free arbitrary blocks.
+		n = 0
+	}
+	view := DescriptorView{pool: p, off: d, n: n}
 	if fn := p.callback(cbID); fn != nil {
 		fn(view, succeeded)
 	} else {

@@ -28,6 +28,7 @@ func (d *Descriptor) Execute() (bool, error) {
 	}
 	d.done = true
 	p := d.h.pool
+	p.checkPoisoned()
 
 	// The descriptor — contents and Undecided status — must be durable
 	// before the first descriptor pointer becomes visible: recovery
@@ -241,6 +242,7 @@ func (p *Pool) helpCompleteInstall(wdesc nvram.Offset) {
 // The caller's epoch guard is entered for the duration (helping may
 // dereference descriptors).
 func (h *Handle) Read(addr nvram.Offset) uint64 {
+	h.pool.checkPoisoned()
 	h.guard.Enter()
 	v := h.pool.read(addr)
 	h.guard.Exit()

@@ -13,6 +13,7 @@ type RecoveryStats struct {
 	RolledBack    int // Undecided/Failed descriptors reset to old values
 	Reclaimed     int // never-executed (Free) descriptors with reserved memory released
 	WordsRepaired int // target words that still held descriptor pointers
+	CorruptCounts int // descriptors whose durable count exceeded the pool capacity
 }
 
 // Recover completes or rolls back every operation that was in flight at
@@ -46,6 +47,7 @@ type RecoveryStats struct {
 // is idempotent: a crash during recovery is repaired by running it again.
 func (p *Pool) Recover() (RecoveryStats, error) {
 	var st RecoveryStats
+	p.checkPoisoned()
 	if p.mode != Persistent {
 		return st, fmt.Errorf("core: Recover on a %s pool", p.mode)
 	}
@@ -56,10 +58,17 @@ func (p *Pool) Recover() (RecoveryStats, error) {
 		cw := p.dev.Load(d + descCountOff)
 		n := int(cw & countMask)
 		if n > p.kWord {
-			// A torn count cannot occur (count and status share a flushed
-			// line and are zeroed together), but recovery of a corrupted
-			// image must not walk wild entries.
+			// A torn count cannot occur under the protocol (count and
+			// status share a flushed line and are zeroed together), so an
+			// oversized count means the image is corrupt. Refuse to walk
+			// the wild entries — but surface the corruption in the stats
+			// rather than silently zeroing, and durably clamp the count so
+			// later passes (finalize, DumpDescriptor, a re-entered
+			// recovery) see a self-consistent descriptor.
+			st.CorruptCounts++
 			n = 0
+			p.dev.Store(d+descCountOff, cw&^uint64(countMask))
+			p.flushHeader(d)
 		}
 
 		switch status {
@@ -81,8 +90,41 @@ func (p *Pool) Recover() (RecoveryStats, error) {
 			return st, fmt.Errorf("core: descriptor %d has corrupt status %#x", i, status)
 		}
 	}
+	// Terminal durability barrier: repairWords stores+flushes target words
+	// and finalize persists each header, but nothing after the last of
+	// those orders them before the first post-recovery operation. Recovery
+	// must not hand out descriptors until every repair is durable — a
+	// crash in that window would otherwise re-expose words recovery
+	// already claims to have repaired.
+	p.dev.Fence()
 	p.rebuildFreeList()
 	return st, nil
+}
+
+// CheckRecovered verifies the pool's post-recovery ground state: every
+// descriptor durably Free with a zero entry count, and every descriptor
+// on the free list. Crash-sweep harnesses call it right after Recover;
+// any violation means recovery left an operation half-finalized.
+func (p *Pool) CheckRecovered() error {
+	for i := 0; i < p.nDesc; i++ {
+		d := p.descOff(i)
+		if got := p.readStatus(d); got != StatusFree {
+			return fmt.Errorf("core: descriptor %d not Free after recovery (status %s)", i, statusName(got))
+		}
+		if n := p.dev.Load(d+descCountOff) & countMask; n != 0 {
+			return fmt.Errorf("core: descriptor %d has count %d after recovery", i, n)
+		}
+		if p.mode == Persistent {
+			if got := p.dev.PersistedLoad(d+descStatusOff) &^ DirtyFlag; got != StatusFree {
+				return fmt.Errorf("core: descriptor %d not durably Free after recovery (persisted status %s)",
+					i, statusName(got))
+			}
+		}
+	}
+	if free := p.FreeDescriptors(); free != p.nDesc {
+		return fmt.Errorf("core: free list holds %d of %d descriptors after recovery", free, p.nDesc)
+	}
+	return nil
 }
 
 // repairWords applies the final value to every target word that still
@@ -134,11 +176,17 @@ func (p *Pool) DumpDescriptor(i int) string {
 	d := p.descOff(i)
 	cw := p.dev.Load(d + descCountOff)
 	n := int(cw & countMask)
+	corrupt := ""
 	if n > p.kWord {
-		n = p.kWord
+		// Same rule as Recover: an oversized count is corruption, and no
+		// reader — not even a debug dump — walks the wild entries. (The
+		// dump used to clamp to kWord and print k entries of garbage,
+		// disagreeing with recovery's zero; both now refuse.)
+		corrupt = fmt.Sprintf(" CORRUPT(count %d > capacity %d)", n, p.kWord)
+		n = 0
 	}
-	s := fmt.Sprintf("desc %d @%#x status=%s count=%d cb=%d",
-		i, d, statusName(p.dev.Load(d+descStatusOff)), n, cw>>callbackShift&callbackIDMask)
+	s := fmt.Sprintf("desc %d @%#x status=%s count=%d cb=%d%s",
+		i, d, statusName(p.dev.Load(d+descStatusOff)), n, cw>>callbackShift&callbackIDMask, corrupt)
 	for j := 0; j < n; j++ {
 		w := wordOff(d, j)
 		s += fmt.Sprintf("\n  [%d] addr=%#x old=%#x new=%#x policy=%s",

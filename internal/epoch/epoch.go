@@ -54,6 +54,7 @@ type Stats struct {
 	Deferred uint64 // objects handed to Defer
 	Freed    uint64 // callbacks run
 	Pending  uint64 // deferred objects not yet reclaimed
+	Guards   uint64 // guards currently registered (gauge, not cumulative)
 }
 
 type deferred struct {
@@ -204,6 +205,15 @@ func (m *Manager) Pending() int {
 	return len(m.garbage)
 }
 
+// Guards returns the number of currently registered guards. A steady
+// count across connection churn is the leak check for per-connection
+// registration: every Register must be balanced by an Unregister.
+func (m *Manager) Guards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.guards)
+}
+
 // Stats returns a snapshot of the manager's cumulative counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
@@ -211,6 +221,7 @@ func (m *Manager) Stats() Stats {
 		Deferred: m.deferred.Load(),
 		Freed:    m.freed.Load(),
 		Pending:  uint64(m.Pending()),
+		Guards:   uint64(m.Guards()),
 	}
 }
 

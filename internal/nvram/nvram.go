@@ -133,6 +133,13 @@ func WithEviction(n int) Option {
 	return func(dev *Device) { dev.evictEvery = n }
 }
 
+// WithEvictionSeed seeds the eviction RNG (default seed 1). Sweeps that
+// enable opportunistic eviction pass an explicit seed so a failing crash
+// point can be reproduced from (seed, point) alone.
+func WithEvictionSeed(seed int64) Option {
+	return func(dev *Device) { dev.evictRng = rand.New(rand.NewSource(seed)) }
+}
+
 // WithYield makes the device yield the processor every n word accesses.
 // On a host with fewer cores than simulated threads, goroutines would
 // otherwise run each operation to completion unpreempted and contention
@@ -293,6 +300,35 @@ func (d *Device) Crash() {
 
 // Crashed reports whether the device has ever experienced a Crash.
 func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// CloneCrashed returns a new device holding exactly what a power failure
+// at this instant would leave behind: both of the clone's images are this
+// device's persisted image, and every line is clean. The clone carries no
+// options, hook, or stats — it is a plain post-crash device, ready for
+// recovery.
+//
+// Crash-sweep harnesses use this to test a crash at operation k without
+// rerunning the first k-1 operations: from inside the operation hook,
+// clone the device and recover the clone, while the original continues
+// unperturbed. The original may be mid-operation; its persisted image is
+// only ever mutated word-atomically, so the clone is a state some real
+// crash could have produced.
+func (d *Device) CloneCrashed() *Device {
+	c := &Device{
+		words:     make([]uint64, len(d.words)),
+		persisted: make([]uint64, len(d.persisted)),
+		dirty:     make([]uint32, len(d.dirty)),
+		size:      d.size,
+		evictRng:  rand.New(rand.NewSource(1)),
+	}
+	for i := range d.persisted {
+		v := atomic.LoadUint64(&d.persisted[i])
+		c.words[i] = v
+		c.persisted[i] = v
+	}
+	c.crashed.Store(true)
+	return c
+}
 
 // DirtyLines returns the number of cache lines whose latest contents have
 // not been persisted. Useful in tests asserting that an algorithm flushed

@@ -377,6 +377,7 @@ func FormatStats(st pmwcas.StoreStats) string {
 	add("epoch_deferred", st.Epoch.Deferred)
 	add("epoch_freed", st.Epoch.Freed)
 	add("epoch_pending", st.Epoch.Pending)
+	add("epoch_guards", st.Epoch.Guards)
 	add("alloc_blocks_in_use", st.AllocBlocks)
 	add("alloc_bytes_in_use", st.AllocBytes)
 	add("alloc_blocks_cap", st.AllocCapBlocks)

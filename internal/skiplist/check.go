@@ -1,0 +1,148 @@
+//lint:file-allow rawload — invariant checking inspects the raw durable image of
+// a recovered (quiescent) store; going through pmwcas_read would "help" — i.e.
+// mutate — the very state being audited, and would spin forever on exactly the
+// dangling descriptor pointers the checker exists to detect.
+
+// Structural invariant checking for crash sweeps: Check walks the durable
+// image of a recovered list and verifies every property a crash at an
+// arbitrary device operation is required to preserve.
+package skiplist
+
+import (
+	"fmt"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// Check audits the durable image of a (recovered, quiescent) skip list
+// anchored at roots. It returns every arena block the list reaches —
+// sentinels, nodes, and staged-but-unpublished sentinels — plus the
+// logical contents of the base level, so callers can cross-check the
+// allocator bitmap and a durable-linearizability oracle.
+//
+// Invariants verified:
+//
+//   - anchors are both set, both zero (list absent), or a staged
+//     first-initialization state the staging words corroborate;
+//   - sentinel keys/heights are exactly as initialization wrote them;
+//   - no reachable link word carries a descriptor flag (recovery removes
+//     every descriptor pointer) or a deletion mark (marked nodes are
+//     unlinked by the same PMwCAS that marks them);
+//   - every level is a strictly-ascending, cycle-free walk from head to
+//     tail whose prev words exactly invert its next words;
+//   - towers are prefix-contiguous: a node linked at level i is linked at
+//     every level below, and level i's node set is a subset of level i-1's.
+func Check(dev *nvram.Device, roots nvram.Region) ([]nvram.Offset, []Entry, error) {
+	headRoot := roots.Base
+	tailRoot := roots.Base + nvram.WordSize
+	stagedHead := roots.Base + 2*nvram.WordSize
+	stagedTail := roots.Base + 3*nvram.WordSize
+
+	head := nvram.Offset(dev.Load(headRoot))
+	tail := nvram.Offset(dev.Load(tailRoot))
+	sh := nvram.Offset(dev.Load(stagedHead))
+	st := nvram.Offset(dev.Load(stagedTail))
+
+	var blocks []nvram.Offset
+	if head == 0 || tail == 0 {
+		// List not (fully) published. Any staged sentinels are reachable
+		// through the staging words; a lone anchor must alias its staged
+		// block (an eviction-persisted prefix of the publish stores).
+		if (head != 0 && head != sh) || (tail != 0 && tail != st) {
+			return nil, nil, fmt.Errorf("skiplist: torn anchors head=%#x tail=%#x staged=(%#x,%#x)", head, tail, sh, st)
+		}
+		if sh != 0 {
+			blocks = append(blocks, sh)
+		}
+		if st != 0 {
+			blocks = append(blocks, st)
+		}
+		return blocks, nil, nil
+	}
+	// Published list: staging words are zero, or alias the anchors when
+	// the crash hit inside the publish window.
+	if (sh != 0 && sh != head) || (st != 0 && st != tail) {
+		return nil, nil, fmt.Errorf("skiplist: staging words (%#x,%#x) disagree with anchors (%#x,%#x)", sh, st, head, tail)
+	}
+
+	if k := dev.Load(head + nodeKeyOff); k != 0 {
+		return nil, nil, fmt.Errorf("skiplist: head sentinel key %#x, want 0", k)
+	}
+	if k := dev.Load(tail + nodeKeyOff); k != MaxKey {
+		return nil, nil, fmt.Errorf("skiplist: tail sentinel key %#x, want MaxKey", k)
+	}
+	if h := dev.Load(head + nodeMetaOff); h != MaxHeight {
+		return nil, nil, fmt.Errorf("skiplist: head sentinel height %d, want %d", h, MaxHeight)
+	}
+	if h := dev.Load(tail + nodeMetaOff); h != MaxHeight {
+		return nil, nil, fmt.Errorf("skiplist: tail sentinel height %d, want %d", h, MaxHeight)
+	}
+
+	// Walk every level top-down; levels[i] records each node linked at
+	// level i so subset (prefix-tower) checks can run afterwards.
+	var levels [MaxHeight]map[nvram.Offset]bool
+	var entries []Entry
+	for i := MaxHeight - 1; i >= 0; i-- {
+		levels[i] = map[nvram.Offset]bool{head: true}
+		prevNode := head
+		prevKey := uint64(0)
+		for {
+			raw := dev.Load(prevNode + linkOff(i, false))
+			if raw&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+				return nil, nil, fmt.Errorf("skiplist: level %d next of node %#x holds descriptor flags: %#x", i, prevNode, raw)
+			}
+			next := raw &^ core.DirtyFlag
+			if next&DeletedMask != 0 {
+				return nil, nil, fmt.Errorf("skiplist: reachable node %#x has marked level-%d next %#x", prevNode, i, raw)
+			}
+			if next == 0 {
+				return nil, nil, fmt.Errorf("skiplist: level-%d walk hit a zero link at node %#x before tail", i, prevNode)
+			}
+			node := nvram.Offset(next)
+			if levels[i][node] {
+				return nil, nil, fmt.Errorf("skiplist: level-%d walk revisits node %#x (cycle)", i, node)
+			}
+			levels[i][node] = true
+			// prev must be the exact inverse of next at every level.
+			back := dev.Load(node+linkOff(i, true)) &^ core.DirtyFlag
+			if back&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+				return nil, nil, fmt.Errorf("skiplist: level %d prev of node %#x holds descriptor flags: %#x", i, node, back)
+			}
+			if nvram.Offset(back) != prevNode {
+				return nil, nil, fmt.Errorf("skiplist: level %d prev of node %#x is %#x, want %#x", i, node, back, prevNode)
+			}
+			if node == tail {
+				break
+			}
+			k := dev.Load(node + nodeKeyOff)
+			if k <= prevKey || k >= MaxKey {
+				return nil, nil, fmt.Errorf("skiplist: level %d key order violated: %#x after %#x", i, k, prevKey)
+			}
+			h := int(dev.Load(node + nodeMetaOff))
+			if h < i+1 || h > MaxHeight {
+				return nil, nil, fmt.Errorf("skiplist: node %#x linked at level %d but height is %d", node, i, h)
+			}
+			if i == 0 {
+				v := dev.Load(node+nodeValueOff) &^ core.DirtyFlag
+				if v&(core.FlagsMask|DeletedMask) != 0 {
+					return nil, nil, fmt.Errorf("skiplist: node %#x value has reserved bits: %#x", node, v)
+				}
+				entries = append(entries, Entry{Key: k, Value: v})
+			}
+			prevNode, prevKey = node, k
+		}
+	}
+	// Prefix towers: everything linked at level i is linked at level i-1.
+	for i := MaxHeight - 1; i > 0; i-- {
+		for node := range levels[i] {
+			if !levels[i-1][node] {
+				return nil, nil, fmt.Errorf("skiplist: node %#x linked at level %d but not at level %d", node, i, i-1)
+			}
+		}
+	}
+	for node := range levels[0] {
+		blocks = append(blocks, node)
+	}
+	return blocks, entries, nil
+}

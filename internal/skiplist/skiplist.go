@@ -88,9 +88,11 @@ func nodeSize(height int) uint64 {
 	return uint64(nodeLinksOff + height*linkStride)
 }
 
-// RootWords is the number of durable root words a list needs (head and
-// tail offsets).
-const RootWords = 2
+// RootWords is the number of durable root words a list needs: head and
+// tail anchors plus two staging words used only during first
+// initialization (all four must share one cache line so creation can be
+// published atomically).
+const RootWords = 4
 
 var (
 	// ErrKeyExists is returned by Insert when the key is present.
@@ -144,30 +146,73 @@ func New(cfg Config) (*List, error) {
 	}
 	headRoot := cfg.Roots.Base
 	tailRoot := cfg.Roots.Base + nvram.WordSize
+	stagedHead := cfg.Roots.Base + 2*nvram.WordSize
+	stagedTail := cfg.Roots.Base + 3*nvram.WordSize
 
 	l.head = l.dev.Load(headRoot)
 	l.tail = l.dev.Load(tailRoot)
+	sh := l.dev.Load(stagedHead)
+	st := l.dev.Load(stagedTail)
 	if l.head != 0 && l.tail != 0 {
+		// Existing list. Nonzero staging words mean the crash hit inside
+		// the publish window after opportunistic eviction persisted the
+		// anchor line mid-update; the staged words then still alias the
+		// sentinels (New had not returned, so no operation ran). Scrub
+		// them; anything else is corruption.
+		if sh != 0 || st != 0 {
+			if (sh != 0 && sh != l.head) || (st != 0 && st != l.tail) {
+				return nil, errors.New("skiplist: staging words disagree with anchors — image corrupt")
+			}
+			l.dev.Store(stagedHead, 0)
+			l.dev.Store(stagedTail, 0)
+			l.dev.Flush(stagedHead)
+			l.dev.Fence()
+		}
 		return l, nil // existing list
 	}
 	if l.head != 0 || l.tail != 0 {
-		return nil, errors.New("skiplist: torn roots — allocator recovery must run before New")
+		// One anchor persisted, the other not: an eviction-persisted
+		// prefix of the publish stores. The staged words still own the
+		// sentinels, so reset the anchors and rebuild through the staging
+		// path below. A lone anchor the staging words do not corroborate
+		// is genuine corruption.
+		if (l.head != 0 && l.head != sh) || (l.tail != 0 && l.tail != st) {
+			return nil, errors.New("skiplist: torn roots — allocator recovery must run before New")
+		}
+		l.dev.Store(headRoot, 0)
+		l.dev.Store(tailRoot, 0)
+		l.dev.Flush(headRoot)
+		l.dev.Fence()
+		l.head, l.tail = 0, 0
 	}
 
-	// Fresh list: build the sentinel towers. The allocator's delivery
-	// protocol makes each root write atomic with respect to crashes; a
-	// crash between the two deliveries is detected above as torn roots
-	// only if the first delivery completed — in that case the head block
-	// leaks into the sentinel, which is reconstructed deterministically,
-	// so we simply treat head-without-tail as torn and refuse; operators
-	// reformat a store that failed during its very first initialization.
+	// Fresh list: build the sentinel towers via staged-then-published
+	// creation. The sentinels are delivered into staging words that share
+	// the anchors' cache line, fully initialized and persisted, and only
+	// then published: one store set + line flush moves both anchors from
+	// zero to their sentinels and clears the staging words atomically. A
+	// crash anywhere before that flush leaves the anchors durably zero —
+	// the list simply does not exist yet — and the staged blocks are
+	// released here on the next open, so first initialization can be
+	// retried at any crash point without reformatting.
+	for _, st := range []nvram.Offset{stagedHead, stagedTail} {
+		if b := l.dev.Load(st); b != 0 {
+			staged := st
+			if err := cfg.Allocator.FreeWithBarrier(b, func() {
+				l.dev.Store(staged, 0)
+				l.dev.Flush(staged)
+			}); err != nil {
+				return nil, fmt.Errorf("skiplist: releasing staged sentinel %#x: %w", b, err)
+			}
+		}
+	}
 	ah := cfg.Allocator.NewHandle()
 	var err error
-	l.head, err = ah.Alloc(nodeSize(MaxHeight), headRoot)
+	l.head, err = ah.Alloc(nodeSize(MaxHeight), stagedHead)
 	if err != nil {
 		return nil, fmt.Errorf("skiplist: allocating head sentinel: %w", err)
 	}
-	l.tail, err = ah.Alloc(nodeSize(MaxHeight), tailRoot)
+	l.tail, err = ah.Alloc(nodeSize(MaxHeight), stagedTail)
 	if err != nil {
 		return nil, fmt.Errorf("skiplist: allocating tail sentinel: %w", err)
 	}
@@ -181,6 +226,13 @@ func New(cfg Config) (*List, error) {
 	}
 	l.flushNode(l.head, MaxHeight)
 	l.flushNode(l.tail, MaxHeight)
+	l.dev.Fence()
+	// Publish: anchors set, staging cleared, in one atomic line flush.
+	l.dev.Store(headRoot, l.head)
+	l.dev.Store(tailRoot, l.tail)
+	l.dev.Store(stagedHead, 0)
+	l.dev.Store(stagedTail, 0)
+	l.dev.Flush(headRoot)
 	l.dev.Fence()
 	return l, nil
 }

@@ -42,6 +42,9 @@ type Config struct {
 	// EvictEvery, if > 0, persists roughly one random line per that many
 	// stores (models opportunistic cache eviction).
 	EvictEvery int
+	// EvictSeed, if non-zero, seeds the eviction RNG so runs that enable
+	// EvictEvery are reproducible (crash sweeps pin findings to a seed).
+	EvictSeed int64
 	// YieldEvery, if > 0, yields the processor every that many device
 	// accesses so logical threads interleave even on few-core hosts
 	// (benchmarking knob; see nvram.WithYield).
@@ -120,6 +123,9 @@ func Create(cfg Config) (*Store, error) {
 	}
 	if cfg.EvictEvery > 0 {
 		opts = append(opts, nvram.WithEviction(cfg.EvictEvery))
+	}
+	if cfg.EvictSeed != 0 {
+		opts = append(opts, nvram.WithEvictionSeed(cfg.EvictSeed))
 	}
 	if cfg.YieldEvery > 0 {
 		opts = append(opts, nvram.WithYield(cfg.YieldEvery))
@@ -421,7 +427,16 @@ func (s *Store) Recover() (RecoveryStats, error) {
 	if err != nil {
 		return st, err
 	}
+	// Swap in the recovered substrates, then poison the old ones. Handles,
+	// guards, and index objects minted before the crash still reference the
+	// old pool and allocator; letting them operate would silently corrupt
+	// the recovered state (stale free lists, stale epoch clock, descriptors
+	// the new pool believes are Free). Poisoning turns any such use into an
+	// immediate panic naming the recovery that invalidated it.
+	oldPool, oldAlloc := s.pool, s.alloc
 	s.alloc, s.pool = a, pool
+	oldPool.Poison("Store.Recover replaced this pool; re-mint handles from the store")
+	oldAlloc.Poison("Store.Recover replaced this allocator; re-mint handles from the store")
 	return st, nil
 }
 
@@ -429,3 +444,83 @@ func (s *Store) Recover() (RecoveryStats, error) {
 // crash-consistent: restoring it with OpenFile is equivalent to a power
 // failure at the moment of the checkpoint, repaired by recovery.
 func (s *Store) Checkpoint(path string) error { return s.dev.SaveFile(path) }
+
+// CheckOptions tunes Store.CheckInvariants.
+type CheckOptions struct {
+	// Blob additionally validates skip list values as blob-KV records and
+	// scans the blob staging slots. Set it whenever the store's skip list
+	// is used through BlobKV — without it the list's values are opaque
+	// integers and staged blob records would read as allocator leaks.
+	Blob bool
+}
+
+// DurableState is the logical content CheckInvariants extracted from the
+// durable image — the ground truth a durable-linearizability oracle
+// compares against.
+type DurableState struct {
+	SkipList []SkipListEntry
+	BwTree   []BwTreeEntry
+	Queue    []uint64          // FIFO order
+	Blobs    map[string][]byte // only populated with CheckOptions.Blob
+}
+
+// CheckInvariants audits the whole store against its structural
+// invariants. It must run on a quiescent, freshly recovered store (right
+// after OpenDevice/OpenFile/Recover, before any new operation): it reads
+// the raw image, so concurrent mutators would race it, and it asserts the
+// post-recovery ground state of the descriptor pool.
+//
+// Layers checked, in order: the descriptor pool (every descriptor durably
+// Free, count zero, on the free list), each index's structural invariants
+// (see skiplist.Check, bwtree.Check, pqueue.Check, blobkv.Check), and
+// finally the allocator bitmap against the union of every block the
+// indexes reach — a block allocated but unreachable is a leak, a block
+// reachable but not allocated is dangling.
+func (s *Store) CheckInvariants(opt CheckOptions) (*DurableState, error) {
+	if err := s.pool.CheckRecovered(); err != nil {
+		return nil, err
+	}
+	st := &DurableState{}
+	var reachable []Offset
+
+	skipRoots := nvram.Region{Base: s.rootsRegion.Base, Len: nvram.LineBytes}
+	blocks, entries, err := skiplist.Check(s.dev, skipRoots)
+	if err != nil {
+		return nil, err
+	}
+	reachable = append(reachable, blocks...)
+	st.SkipList = entries
+
+	qRoots := nvram.Region{Base: s.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes}
+	blocks, values, err := pqueue.Check(s.dev, qRoots)
+	if err != nil {
+		return nil, err
+	}
+	reachable = append(reachable, blocks...)
+	st.Queue = values
+
+	blocks, tentries, err := bwtree.Check(s.dev, s.mapRegion, s.metaRegion)
+	if err != nil {
+		return nil, err
+	}
+	reachable = append(reachable, blocks...)
+	st.BwTree = tentries
+
+	if opt.Blob {
+		n := s.cfg.MaxHandles / 4
+		if n < 1 {
+			n = 1
+		}
+		blocks, blobs, err := blobkv.Check(s.dev, s.alloc, s.blobRegion, n, st.SkipList)
+		if err != nil {
+			return nil, err
+		}
+		reachable = append(reachable, blocks...)
+		st.Blobs = blobs
+	}
+
+	if err := s.alloc.CheckInUse(reachable); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
