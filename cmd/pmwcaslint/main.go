@@ -3,6 +3,7 @@
 // own driver:
 //
 //	go run ./cmd/pmwcaslint ./...        # lint the whole tree
+//	go run ./cmd/pmwcaslint -audit ./... # only audit //lint:allow comments
 //	go vet -vettool=$(which pmwcaslint) ./...
 //
 // When invoked with package patterns, pmwcaslint re-executes itself
@@ -11,7 +12,13 @@
 // go vet (with -V=full or a *.cfg unit file), it behaves as a standard
 // unitchecker.
 //
-// Exit status is non-zero if any diagnostic is reported.
+// -audit enables only the staleallow analyzer: the checkers still run
+// (use tracking needs their verdicts) but only suppression-audit
+// findings are printed — stale //lint:allow comments, unknown analyzer
+// names, missing reasons.
+//
+// Exit status is non-zero if any diagnostic is reported, and 2 when no
+// package pattern is given.
 package main
 
 import (
@@ -26,36 +33,67 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
 	// go vet protocol: `pmwcaslint -V=full` (version probe), `-flags`
 	// (flag enumeration), or `pmwcaslint [flags] unit.cfg` (analysis unit).
-	for _, arg := range os.Args[1:] {
+	for _, arg := range args {
 		if arg == "-V=full" || arg == "-V" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
 			unitchecker.Main(lint.Analyzers...) // does not return
 		}
 	}
 
 	// Driver mode: re-exec through `go vet -vettool=<self>` so the build
-	// system supplies types and facts for each package unit.
+	// system supplies types and facts for each package unit. -audit maps
+	// to the unitchecker's per-analyzer enable flag for staleallow:
+	// explicitly enabling one analyzer reports only it, while its
+	// prerequisites (every checker) still execute and mark suppressions
+	// used.
+	var vetArgs []string
+	for _, arg := range args {
+		if arg == "-audit" || arg == "--audit" {
+			vetArgs = append(vetArgs, "-staleallow")
+			continue
+		}
+		vetArgs = append(vetArgs, arg)
+	}
+	if len(vetArgs) == 0 || !hasPackageArg(vetArgs) {
+		fmt.Fprintln(stderr, "usage: pmwcaslint [-audit] [analyzer flags] package...")
+		fmt.Fprintln(stderr, "       (e.g. `pmwcaslint ./...`; run `go doc pmwcas/internal/lint` for the analyzer list)")
+		return 2
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmwcaslint: cannot locate own binary:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pmwcaslint: cannot locate own binary:", err)
+		return 2
 	}
-	args := []string{"vet", "-vettool=" + exe}
-	if len(os.Args) > 1 {
-		args = append(args, os.Args[1:]...)
-	} else {
-		args = append(args, "./...")
-	}
-	cmd := exec.Command("go", args...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, vetArgs...)...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
+			return ee.ExitCode()
 		}
-		fmt.Fprintln(os.Stderr, "pmwcaslint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pmwcaslint:", err)
+		return 2
 	}
+	return 0
+}
+
+// hasPackageArg reports whether at least one argument is a package
+// pattern rather than a flag: with nothing to analyze, `go vet` would
+// default to the current directory, which silently lints one package
+// when the caller almost certainly meant ./... — require an explicit
+// pattern instead.
+func hasPackageArg(args []string) bool {
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoArgsUsage: invoking the driver with no package pattern must
+// print usage and exit 2 rather than silently linting the current
+// directory.
+func TestNoArgsUsage(t *testing.T) {
+	stderr := captureFile(t)
+	if got := run(nil, os.Stdout, stderr); got != 2 {
+		t.Fatalf("run() with no args = %d, want 2", got)
+	}
+	out := readBack(t, stderr)
+	if !strings.Contains(out, "usage: pmwcaslint") {
+		t.Fatalf("run() with no args printed %q, want usage message", out)
+	}
+}
+
+// TestFlagsOnlyUsage: flags without a package pattern are equally
+// useless; go vet would fall back to the current directory.
+func TestFlagsOnlyUsage(t *testing.T) {
+	stderr := captureFile(t)
+	if got := run([]string{"-audit"}, os.Stdout, stderr); got != 2 {
+		t.Fatalf("run(-audit) with no packages = %d, want 2", got)
+	}
+	if !strings.Contains(readBack(t, stderr), "usage: pmwcaslint") {
+		t.Fatal("run(-audit) with no packages did not print usage")
+	}
+}
+
+func captureFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func readBack(t *testing.T, f *os.File) string {
+	t.Helper()
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

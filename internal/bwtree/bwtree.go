@@ -204,7 +204,7 @@ func New(cfg Config) (*Tree, error) {
 		// root page (New had not returned, so no operation ran). Scrub it;
 		// anything else is corruption.
 		if sv := t.dev.Load(stagedOff); sv != 0 {
-			//lint:allow rawload, flagmask — quiescent first-open scrub: a nonzero staging word proves the crash hit the init publish window, before any PMwCAS ever targeted this mapping word
+			//lint:allow rawload, flagmask, guardfact — quiescent first-open scrub: a nonzero staging word proves the crash hit the init publish window, before any PMwCAS ever targeted this mapping word; recovery is single-threaded, so no epoch guard exists yet (§4.4)
 			if t.dev.Load(t.mappingOff(RootLPID)) != sv {
 				return nil, errors.New("bwtree: staging word disagrees with root mapping — image corrupt")
 			}
@@ -268,6 +268,7 @@ func (t *Tree) mappingOff(lpid uint64) nvram.Offset {
 // LPID (reuse would expose traversals to ABA on mapping words).
 func (t *Tree) allocLPID() (uint64, error) {
 	for {
+		//lint:allow guardfact — nextLPID is a fixed meta word, never reclaimed; epoch guards protect arena memory, not the allocation counter
 		cur := core.PCASRead(t.dev, t.nextLPID)
 		if cur >= t.nLPID {
 			return 0, ErrMappingFull
@@ -291,11 +292,16 @@ func (t *Tree) NewHandle() *Handle {
 }
 
 // readMapping reads a mapping word under the caller's guard, helping any
-// in-flight PMwCAS in descriptor modes.
+// in-flight PMwCAS in descriptor modes. The baseline branch masks the
+// flag bits even though plain-CAS publishes never set them: callers
+// compare and re-store the returned word, and the mask keeps that
+// contract mode-independent.
+//
+//pmwcas:requires-guard — mapping words address epoch-reclaimed pages
 func (h *Handle) readMapping(lpid uint64) uint64 {
 	if h.tree.smo == SMOSingleCAS {
 		//lint:allow rawload — baseline mode publishes mappings with plain CAS; there is no dirty bit to observe
-		return h.tree.dev.Load(h.tree.mappingOff(lpid))
+		return h.tree.dev.Load(h.tree.mappingOff(lpid)) &^ core.FlagsMask
 	}
 	return h.core.Read(h.tree.mappingOff(lpid))
 }

@@ -717,3 +717,25 @@ func TestContainsAndLen(t *testing.T) {
 		t.Fatal("SMOMode.String")
 	}
 }
+
+// TestReadMappingMasksBaselineFlags pins the fix for a protocol leak the
+// flushfact analyzer found: readMapping's SMOSingleCAS branch used to
+// return the raw device word, so a protocol flag bit sitting in a
+// mapping slot — e.g. left by a descriptor-mode writer before the image
+// was reopened in baseline mode — would flow unmasked into every
+// caller's compare and re-store. The baseline branch must strip flag
+// bits just like the descriptor branch does.
+func TestReadMappingMasksBaselineFlags(t *testing.T) {
+	e := newTreeEnv(t, core.Volatile, SMOSingleCAS, nil)
+	h := e.tree.NewHandle()
+	off := e.tree.mappingOff(RootLPID)
+	raw := e.dev.Load(off)
+	e.dev.Store(off, raw|core.DirtyFlag)
+	if got := h.readMapping(RootLPID); got != raw {
+		t.Fatalf("readMapping = %#x, want flag-masked %#x", got, raw)
+	}
+	e.dev.Store(off, raw)
+	if h.readMapping(RootLPID) != raw {
+		t.Fatal("readMapping altered a clean word")
+	}
+}

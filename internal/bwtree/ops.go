@@ -23,6 +23,8 @@ const maxDescentRestarts = 1000
 // descend walks from the root to the leaf covering key, helping
 // in-flight baseline splits along the way, and returns the inner-page
 // path, the leaf's LPID, and the resolved leaf view.
+//
+//pmwcas:requires-guard — dereferences mapping words and page chains
 func (h *Handle) descend(key uint64) ([]pathEntry, uint64, pageView, error) {
 	t := h.tree
 restart:

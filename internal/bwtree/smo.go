@@ -115,6 +115,8 @@ func (t *Tree) registerCallbacks() error {
 // maintain runs post-operation maintenance on a page: consolidate long
 // chains, then split oversized or merge undersized pages. Best-effort;
 // all failures are silent (retried by future traffic).
+//
+//pmwcas:requires-guard — re-reads mappings and walks page chains
 func (h *Handle) maintain(path []pathEntry, lpid uint64) {
 	t := h.tree
 	head := h.readMapping(lpid)
@@ -165,6 +167,8 @@ func (h *Handle) maintain(path []pathEntry, lpid uint64) {
 // every SMO here a single PMwCAS: {root: oldRoot→childCopy,
 // child: childChain→removed}. Readers mid-descent through the old child
 // LPID hit the removed marker and restart.
+//
+//pmwcas:requires-guard — reads mappings of pages another thread may retire
 func (h *Handle) collapseRoot(v *pageView) bool {
 	t := h.tree
 	childLPID := v.innerEntries[0].Child
@@ -213,6 +217,8 @@ func (h *Handle) collapseRoot(v *pageView) bool {
 
 // consolidate replaces a delta chain with a fresh base page. Returns
 // whether the swap landed.
+//
+//pmwcas:requires-guard — reads the mapping word it intends to swap
 func (h *Handle) consolidate(lpid uint64, v *pageView) bool {
 	t := h.tree
 	if v.removed || v.chain == 0 {
@@ -249,6 +255,8 @@ func (h *Handle) consolidate(lpid uint64, v *pageView) bool {
 // sibling and the parent's index-entry delta in one PMwCAS. Root splits
 // move the old root behind a fresh LPID and swap a new inner root in —
 // also one PMwCAS.
+//
+//pmwcas:requires-guard — reads parent and sibling mapping words
 func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) bool {
 	if v.chain != 0 || v.removed {
 		return false // split only consolidated pages; maintenance will return
@@ -330,6 +338,8 @@ func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) bool {
 // splitRoot splits the root page behind a constant root LPID: the old
 // chain moves to fresh LPID P2 (under a split delta), the upper half
 // becomes Q, and a new two-entry inner root replaces the root mapping.
+//
+//pmwcas:requires-guard — reads the root mapping word mid-swap
 func (h *Handle) splitRoot(v *pageView, sep uint64) {
 	t := h.tree
 	p2, err := t.allocLPID()
@@ -398,6 +408,8 @@ func buildUpperHalf(t *Tree, ah *alloc.Handle, v *pageView, sep uint64, target n
 // PMwCAS touching both pages and the parent — the three-step
 // delete/merge protocol of the CAS-based Bw-tree collapsed into a single
 // atomic operation.
+//
+//pmwcas:requires-guard — reads three mapping words another thread may retire
 func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) bool {
 	t := h.tree
 	if len(path) == 0 || v.removed {

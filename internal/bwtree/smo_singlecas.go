@@ -16,6 +16,8 @@ const scratchWord = nvram.WordSize
 
 // consolidateCAS swaps a consolidated page in with one CAS, freeing the
 // old chain through the epoch manager.
+//
+//pmwcas:requires-guard — reads the mapping word it intends to swap
 func (h *Handle) consolidateCAS(lpid uint64, v *pageView) bool {
 	t := h.tree
 	var page nvram.Offset
@@ -40,6 +42,8 @@ func (h *Handle) consolidateCAS(lpid uint64, v *pageView) bool {
 // sibling, CAS the split delta onto P, then post the index-entry delta
 // to the parent — with every traversal helping finish step three when it
 // encounters an orphan split delta.
+//
+//pmwcas:requires-guard — multi-step SMO reads mappings between CAS steps
 func (h *Handle) splitCAS(path []pathEntry, lpid uint64, v *pageView) bool {
 	t := h.tree
 	var sep uint64
@@ -90,6 +94,8 @@ func (h *Handle) splitCAS(path []pathEntry, lpid uint64, v *pageView) bool {
 
 // splitRootCAS splits the root in baseline mode: fresh P2 takes the old
 // chain behind a split delta, then a new inner root swaps in.
+//
+//pmwcas:requires-guard — reads the root mapping word mid-swap
 func (h *Handle) splitRootCAS(v *pageView, sep uint64) {
 	t := h.tree
 	p2, err := t.allocLPID()
@@ -137,6 +143,8 @@ func (h *Handle) splitRootCAS(v *pageView, sep uint64) {
 // to the parent, if not already posted. Any traversal that sees an
 // orphan split delta calls this — the Bw-tree help-along protocol whose
 // subtleties §6.2 catalogs.
+//
+//pmwcas:requires-guard — help-along reads the parent mapping word
 func (h *Handle) helpSplitCAS(parentLPID, low, sep, high, pLPID, qLPID uint64) {
 	t := h.tree
 	probe := sep + 1

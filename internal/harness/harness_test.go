@@ -185,8 +185,14 @@ func TestMicroHighContentionLowersSuccess(t *testing.T) {
 	}
 	// On a single-CPU host goroutines rarely interleave mid-operation, so
 	// contention may not manifest at all; the invariant that must hold is
-	// that it can only hurt, never help.
-	if high.SuccessRate > low.SuccessRate {
+	// that it can only hurt, never help. Race instrumentation serializes
+	// memory accesses enough that the two configurations become
+	// statistically indistinguishable — allow sampling noise there.
+	slack := 0.0
+	if raceEnabled {
+		slack = 0.01
+	}
+	if high.SuccessRate > low.SuccessRate+slack {
 		t.Fatalf("contention raised success rate: high %.3f vs low %.3f",
 			high.SuccessRate, low.SuccessRate)
 	}

@@ -304,6 +304,7 @@ func RunRecovery(cfg RecoveryBench) (RecoveryResult, error) {
 		base := arrReg.Base + nvram.Offset(i*cfg.Words)*nvram.WordSize
 		first := h2.Read(base)
 		for w := 1; w < cfg.Words; w++ {
+			//lint:allow guardfact — post-recovery verification is single-threaded; nothing reclaims while it runs (§4.4)
 			if h2.Read(base+nvram.Offset(w)*nvram.WordSize) != first {
 				ok = false
 			}

@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector instruments this build;
+// perf-sensitive assertions widen their tolerances when it does.
+const raceEnabled = true

@@ -23,12 +23,12 @@ var DescReuse = &analysis.Analyzer{
 	Name: "descreuse",
 	Doc: "report a *core.Descriptor used after Execute/Discard " +
 		"(descriptors are single-shot; allocate a fresh one per operation, paper §4.1)",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{Suppress, inspect.Analyzer, ctrlflow.Analyzer},
 	Run:      runDescReuse,
 }
 
 func runDescReuse(pass *analysis.Pass) (interface{}, error) {
-	sup := newSuppressions(pass)
+	sup := suppressionsOf(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
 

@@ -21,18 +21,8 @@ var FlagMask = &analysis.Analyzer{
 	Name: "flagmask",
 	Doc: "report ==/!=/switch on a raw-loaded PMwCAS word without masking reserved bits " +
 		"(mask with &^ core.DirtyFlag or &^ core.FlagsMask before comparing)",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{Suppress, inspect.Analyzer},
 	Run:      runFlagMask,
-}
-
-// coreFlagNames are the names whose presence in a comparison operand
-// shows the author is reasoning about flag bits deliberately.
-var coreFlagNames = map[string]bool{
-	"DirtyFlag":   true,
-	"MwCASFlag":   true,
-	"RDCSSFlag":   true,
-	"FlagsMask":   true,
-	"AddressMask": true,
 }
 
 func runFlagMask(pass *analysis.Pass) (interface{}, error) {
@@ -43,7 +33,7 @@ func runFlagMask(pass *analysis.Pass) (interface{}, error) {
 	if len(managed) == 0 {
 		return nil, nil
 	}
-	sup := newSuppressions(pass)
+	sup := suppressionsOf(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	// taints records, per variable, the positions of assignments whose
@@ -129,30 +119,6 @@ func runFlagMask(pass *analysis.Pass) (interface{}, error) {
 		return false
 	}
 
-	containsFlagName := func(e ast.Expr) bool {
-		found := false
-		ast.Inspect(e, func(n ast.Node) bool {
-			var id *ast.Ident
-			switch x := n.(type) {
-			case *ast.SelectorExpr:
-				id = x.Sel
-			case *ast.Ident:
-				id = x
-			default:
-				return true
-			}
-			if !coreFlagNames[id.Name] {
-				return true
-			}
-			if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
-				found = true
-				return false
-			}
-			return true
-		})
-		return found
-	}
-
 	report := func(pos token.Pos, what string) {
 		if skip(pos) {
 			return
@@ -180,7 +146,7 @@ func runFlagMask(pass *analysis.Pass) (interface{}, error) {
 			}
 			// Comparing against an expression that names the flag bits is
 			// deliberate flag inspection, not a payload comparison.
-			if lt && containsFlagName(x.Y) || rt && containsFlagName(x.X) {
+			if lt && containsFlagName(pass, x.Y) || rt && containsFlagName(pass, x.X) {
 				return
 			}
 			report(x.OpPos, "comparison ("+x.Op.String()+")")

@@ -1,0 +1,517 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// RequiresGuard is the fact guardfact attaches to a function that
+// dereferences epoch-protected arena memory on behalf of its caller: the
+// caller must hold an active epoch.Guard across the call, or a concurrent
+// deleter may reclaim the memory mid-read (§5.1). The fact is declared
+// with a //pmwcas:requires-guard annotation in the function's doc
+// comment, which is how the obligation propagates: annotating a function
+// silences the in-body diagnostics and moves the check to every call
+// site, across package boundaries.
+type RequiresGuard struct{}
+
+// AFact marks RequiresGuard as a serializable analysis fact.
+func (*RequiresGuard) AFact() {}
+
+func (*RequiresGuard) String() string { return "RequiresGuard" }
+
+// ReadsWord is the fact guardfact attaches to a function that performs a
+// PMwCAS protocol read whose target offset derives from one of its
+// parameters. A call passing a managed-word offset at such a position is
+// an epoch-protected dereference happening at the call site, even though
+// the Load lives in the callee — this is how reader helpers like
+// skiplist's (*Handle).read are seen through.
+type ReadsWord struct {
+	Params []int // parameter indices whose value reaches a protocol read target
+}
+
+// AFact marks ReadsWord as a serializable analysis fact.
+func (*ReadsWord) AFact() {}
+
+func (f *ReadsWord) String() string { return fmt.Sprintf("ReadsWord%v", f.Params) }
+
+// guardAnnotation is the doc-comment marker declaring that a function
+// must be called under an active epoch guard.
+const guardAnnotation = "//pmwcas:requires-guard"
+
+// GuardFact enforces the epoch-protection contract (§5.1) at the points
+// that matter: the dereferences. guardpair proves Enter and Exit pair up;
+// guardfact proves the protected reads actually happen between them. A
+// protocol read of a PMwCAS-managed word — direct, or through a helper
+// that carries a ReadsWord fact, or inside a callee annotated
+// //pmwcas:requires-guard — must be dominated by an active Guard.Enter:
+// on every path from the function's entry to the read there is an Enter
+// with no intervening Exit (a forward must-dataflow over the go/cfg
+// graph). Single-threaded contexts (§4.4 recovery, first-open
+// initialization) suppress with a cited reason; helpers that run under
+// their caller's guard declare it with the annotation, which exports the
+// RequiresGuard fact and moves the obligation to their callers — in this
+// package or any importing one.
+var GuardFact = &analysis.Analyzer{
+	Name: "guardfact",
+	Doc: "report epoch-protected dereferences not dominated by an active Guard.Enter " +
+		"(//pmwcas:requires-guard pushes the obligation to callers; §5.1)",
+	Requires:  []*analysis.Analyzer{Suppress, inspect.Analyzer, ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*RequiresGuard)(nil), (*ReadsWord)(nil)},
+	Run:       runGuardFact,
+}
+
+func runGuardFact(pass *analysis.Pass) (interface{}, error) {
+	if pkgExempt(pass.Pkg.Path()) {
+		return nil, nil // core and nvram implement the protocol; the contract binds their clients
+	}
+	sup := suppressionsOf(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	managed := managedSet(pass)
+
+	gc := &guardChecker{
+		pass:      pass,
+		sup:       sup,
+		managed:   managed,
+		annotated: make(map[*types.Func]bool),
+		readsWord: make(map[*types.Func]*ReadsWord),
+	}
+
+	// Phase 1: collect //pmwcas:requires-guard annotations and export the
+	// RequiresGuard facts they declare.
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if hasGuardAnnotation(fd) {
+				gc.annotated[fn] = true
+				pass.ExportObjectFact(fn, &RequiresGuard{})
+			}
+		}
+	}
+
+	// Phase 2: grow ReadsWord facts to a fixpoint, so reader helpers that
+	// wrap other reader helpers resolve in any source order.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := gc.readerParams(d, fn)
+			if len(params) == 0 {
+				continue
+			}
+			prev := gc.readsWord[fn]
+			merged := mergeParamSet(prev, params)
+			if prev == nil || len(merged.Params) != len(prev.Params) {
+				gc.readsWord[fn] = merged
+				changed = true
+			}
+		}
+	}
+	for fn, fact := range gc.readsWord {
+		pass.ExportObjectFact(fn, fact)
+	}
+
+	// Phase 3: check every function body. Annotated functions are skipped
+	// (their contract moves the obligation to callers); goroutine literals
+	// are independent scopes — a guard held at spawn time is
+	// goroutine-affine and does not travel into the new goroutine.
+	goLits := make(map[*ast.FuncLit]bool)
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if lit, ok := n.(*ast.GoStmt).Call.Fun.(*ast.FuncLit); ok {
+			goLits[lit] = true
+		}
+	})
+	for _, d := range decls {
+		fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+		if fn != nil && gc.annotated[fn] {
+			continue
+		}
+		gc.checkBody(d.Body, cfgs.FuncDecl(d), false)
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncLit)(nil)}, func(n ast.Node) {
+		lit := n.(*ast.FuncLit)
+		if !goLits[lit] || isTestFile(pass.Fset, lit.Pos()) {
+			return
+		}
+		gc.checkBody(lit.Body, cfgs.FuncLit(lit), true)
+	})
+	return nil, nil
+}
+
+// hasGuardAnnotation reports whether the declaration's doc comment
+// carries //pmwcas:requires-guard.
+func hasGuardAnnotation(d *ast.FuncDecl) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), guardAnnotation) {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeParamSet(prev *ReadsWord, params map[int]bool) *ReadsWord {
+	set := make(map[int]bool, len(params))
+	if prev != nil {
+		for _, i := range prev.Params {
+			set[i] = true
+		}
+	}
+	for i := range params {
+		set[i] = true
+	}
+	out := &ReadsWord{}
+	for i := range set {
+		out.Params = append(out.Params, i)
+	}
+	sort.Ints(out.Params)
+	return out
+}
+
+type guardChecker struct {
+	pass      *analysis.Pass
+	sup       *suppressions
+	managed   map[string]bool
+	annotated map[*types.Func]bool
+	readsWord map[*types.Func]*ReadsWord
+}
+
+// requiresGuard reports whether fn carries the RequiresGuard contract,
+// from this package's annotations or an imported fact.
+func (gc *guardChecker) requiresGuard(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if gc.annotated[fn] {
+		return true
+	}
+	if fn.Pkg() != gc.pass.Pkg {
+		return gc.pass.ImportObjectFact(fn, &RequiresGuard{})
+	}
+	return false
+}
+
+// readsWordFact returns fn's ReadsWord fact, local or imported.
+func (gc *guardChecker) readsWordFact(fn *types.Func) *ReadsWord {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if f, ok := gc.readsWord[fn]; ok {
+		return f
+	}
+	if fn.Pkg() != gc.pass.Pkg {
+		var f ReadsWord
+		if gc.pass.ImportObjectFact(fn, &f) {
+			return &f
+		}
+	}
+	return nil
+}
+
+// protocolReadTarget returns the offset expression of a protocol read:
+// core.PCASRead, (*core.Handle).Read, or a raw Device.Load (the latter
+// only in files that participate in the protocol — volatile baselines
+// never import core and stay exempt).
+func (gc *guardChecker) protocolReadTarget(call *ast.CallExpr) ast.Expr {
+	info := gc.pass.TypesInfo
+	if name, recv, _, ok := methodCall(info, call); ok {
+		if isNamedRecv(info, recv, corePath, "Handle") && name == "Read" && len(call.Args) > 0 {
+			return call.Args[0]
+		}
+		if isNamed(info.TypeOf(recv), nvramPath, "Device") && name == "Load" && len(call.Args) > 0 {
+			if f := fileAt(gc.pass, call.Pos()); f != nil && refersToCore(f) {
+				return call.Args[0]
+			}
+		}
+		return nil
+	}
+	if name, ok := pkgFunc(info, call); ok && name == "PCASRead" && len(call.Args) > 1 {
+		return call.Args[1]
+	}
+	return nil
+}
+
+// paramsOf returns the declared parameter variables of the function
+// declaration, in signature order.
+func paramsOf(info *types.Info, d *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range d.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// readerParams computes which of d's parameters flow into a protocol
+// read target, directly or through another reader helper.
+func (gc *guardChecker) readerParams(d *ast.FuncDecl, fn *types.Func) map[int]bool {
+	info := gc.pass.TypesInfo
+	params := paramsOf(info, d)
+	if len(params) == 0 {
+		return nil
+	}
+	index := make(map[*types.Var]int, len(params))
+	for i, v := range params {
+		index[v] = i
+	}
+	out := make(map[int]bool)
+	mark := func(off ast.Expr) {
+		ast.Inspect(off, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					if i, isParam := index[v]; isParam {
+						out[i] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if off := gc.protocolReadTarget(call); off != nil {
+			mark(off)
+			return true
+		}
+		if rw := gc.readsWordFact(calleeFunc(info, call)); rw != nil {
+			for _, i := range rw.Params {
+				if i < len(call.Args) {
+					mark(call.Args[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardOp is one epoch-protected dereference found in a function body.
+type guardOp struct {
+	pos   token.Pos
+	what  string
+	goRun bool // the op is the operand of a go statement: never protected
+}
+
+// checkBody reports every epoch-protected dereference in body that is not
+// dominated by an active Guard.Enter. goroutineScope marks a go-statement
+// function literal, whose diagnostics explain that the spawner's guard
+// does not travel.
+func (gc *guardChecker) checkBody(body *ast.BlockStmt, g *cfg.CFG, goroutineScope bool) {
+	if g == nil {
+		return
+	}
+	info := gc.pass.TypesInfo
+
+	// Per block: guard Enter/Exit events and protected ops, in source
+	// order. Nested function literals are their own scopes; deferred
+	// statements run at return, outside this flow.
+	type event struct {
+		pos   token.Pos
+		key   string
+		enter bool
+	}
+	events := make([][]event, len(g.Blocks))
+	ops := make([][]guardOp, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			var inGo *ast.GoStmt
+			if gs, ok := node.(*ast.GoStmt); ok {
+				inGo = gs
+			}
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch c := n.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if method, key, ok := isGuardMethod(info, c); ok {
+						events[i] = append(events[i], event{c.Pos(), key, method == "Enter"})
+						return true
+					}
+					goRun := inGo != nil && inGo.Call == c
+					if off := gc.protocolReadTarget(c); off != nil {
+						if name, shares := sharesFingerprint(info, off, gc.managed); shares {
+							ops[i] = append(ops[i], guardOp{c.Pos(),
+								fmt.Sprintf("read of PMwCAS-managed word (offset names %q)", name), goRun})
+						}
+						return true
+					}
+					fn := calleeFunc(info, c)
+					if gc.requiresGuard(fn) {
+						ops[i] = append(ops[i], guardOp{c.Pos(),
+							fmt.Sprintf("call to %s, which is annotated //pmwcas:requires-guard", fn.FullName()), goRun})
+						return true
+					}
+					if rw := gc.readsWordFact(fn); rw != nil {
+						for _, pi := range rw.Params {
+							if pi >= len(c.Args) {
+								continue
+							}
+							if name, shares := sharesFingerprint(info, c.Args[pi], gc.managed); shares {
+								ops[i] = append(ops[i], guardOp{c.Pos(),
+									fmt.Sprintf("call to %s dereferencing PMwCAS-managed word (offset names %q)", fn.FullName(), name), goRun})
+								break
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		sort.SliceStable(events[i], func(a, b int) bool { return events[i][a].pos < events[i][b].pos })
+		sort.SliceStable(ops[i], func(a, b int) bool { return ops[i][a].pos < ops[i][b].pos })
+	}
+	any := false
+	for i := range ops {
+		if len(ops[i]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Forward must-dataflow: the set of guard keys held on EVERY path into
+	// a block. nil is ⊤ (unvisited); the meet is set intersection — a
+	// guard protects a read only if no path reaches the read without it.
+	preds := make([][]int, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], i)
+		}
+	}
+	apply := func(state map[string]bool, evs []event) map[string]bool {
+		out := make(map[string]bool, len(state))
+		for k := range state {
+			out[k] = true
+		}
+		for _, e := range evs {
+			if e.enter {
+				out[e.key] = true
+			} else {
+				delete(out, e.key)
+			}
+		}
+		return out
+	}
+	in := make([]map[string]bool, len(g.Blocks))
+	in[0] = map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Blocks {
+			if i == 0 {
+				continue
+			}
+			var meet map[string]bool
+			seen := false
+			for _, p := range preds[i] {
+				if in[p] == nil {
+					continue // ⊤ contributes nothing to an intersection
+				}
+				out := apply(in[p], events[p])
+				if !seen {
+					meet = out
+					seen = true
+					continue
+				}
+				for k := range meet {
+					if !out[k] {
+						delete(meet, k)
+					}
+				}
+			}
+			if !seen {
+				continue
+			}
+			if in[i] == nil || len(in[i]) != len(meet) || !sameKeys(in[i], meet) {
+				in[i] = meet
+				changed = true
+			}
+		}
+	}
+
+	for i := range g.Blocks {
+		if len(ops[i]) == 0 || in[i] == nil {
+			continue
+		}
+		// Replay events and ops in source order within the block.
+		state := apply(in[i], nil)
+		ei := 0
+		for _, op := range ops[i] {
+			for ei < len(events[i]) && events[i][ei].pos < op.pos {
+				state = apply(state, events[i][ei:ei+1])
+				ei++
+			}
+			if len(state) > 0 && !op.goRun {
+				continue
+			}
+			if ok, note := gc.sup.allowed(op.pos, "guardfact"); ok {
+				continue
+			} else {
+				switch {
+				case op.goRun:
+					gc.pass.Reportf(op.pos,
+						"%s started as a goroutine; the spawner's guard is goroutine-affine and does not travel — "+
+							"Register a guard and Enter it inside the goroutine (§5.1)%s", op.what, note)
+				case goroutineScope:
+					gc.pass.Reportf(op.pos,
+						"%s inside a goroutine with no active epoch guard; the spawner's guard does not travel — "+
+							"Register a guard and Enter it in this goroutine, or the memory may be reclaimed mid-read (§5.1)%s", op.what, note)
+				default:
+					gc.pass.Reportf(op.pos,
+						"%s is not dominated by an active Guard.Enter: some path reaches it with no guard held, so a "+
+							"concurrent delete may reclaim the memory mid-read (§5.1); enter a guard (defer g.Exit()), or annotate "+
+							"this function //pmwcas:requires-guard to move the obligation to its callers%s", op.what, note)
+				}
+			}
+		}
+	}
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

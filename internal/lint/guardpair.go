@@ -22,12 +22,12 @@ var GuardPair = &analysis.Analyzer{
 	Name: "guardpair",
 	Doc: "report Guard.Enter without a matching Guard.Exit on all return paths (use defer g.Exit()), " +
 		"and epoch.Guard values escaping to other goroutines (guards are goroutine-affine, §5.1)",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{Suppress, inspect.Analyzer, ctrlflow.Analyzer},
 	Run:      runGuardPair,
 }
 
 func runGuardPair(pass *analysis.Pass) (interface{}, error) {
-	sup := newSuppressions(pass)
+	sup := suppressionsOf(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
 

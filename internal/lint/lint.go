@@ -25,6 +25,36 @@
 //     Discard it belongs to the pool's recycling machinery and must not
 //     be touched again.
 //
+// The five checkers above are intra-procedural. Three further checkers
+// carry the same invariants across function and package boundaries using
+// go/analysis Facts (serialized per-package summaries the build system
+// threads from a dependency's analysis run to its importers):
+//
+//   - flushfact (§3, §4.2): a function whose return value is a raw-loaded
+//     protocol word exports a ReturnsUnflushed fact; any caller — in this
+//     package or an importing one — that compares, switches on, or
+//     re-stores that value without masking the reserved bits is flagged.
+//     This closes flagmask's call-boundary blind spot: the helper and the
+//     comparison no longer need to share a function body.
+//   - guardfact (§5.1): every epoch-protected dereference — a protocol
+//     read of a managed word, directly or through a reader helper whose
+//     ReadsWord fact says the offset flows in from a parameter — must be
+//     dominated by an active Guard.Enter: a forward must-dataflow over
+//     the go/cfg control-flow graph proves a guard is held on every path
+//     to the read, with no intervening Exit. A helper that runs under
+//     its caller's guard declares it with //pmwcas:requires-guard, which
+//     silences its in-body diagnostics, exports a RequiresGuard fact,
+//     and moves the dominance obligation to every call site — in this
+//     package or any importing one, hop by hop. guardpair checks that
+//     Enter and Exit pair up; guardfact checks that the dereferences
+//     actually happen inside the pair.
+//   - descflow (§4.1): functions that Execute or Discard a descriptor
+//     parameter export a KillsDescriptor fact (and ReturnsDeadDescriptor
+//     when they return an already-retired descriptor); callers that keep
+//     using the handle afterwards are flagged even though the kill
+//     happened in a callee — descreuse's single-function horizon no
+//     longer hides it.
+//
 // # What "PMwCAS-managed" means to the analyzers
 //
 // The analyzers cannot know at compile time which arena words a PMwCAS
@@ -63,13 +93,18 @@
 // separator (—, --, or :). A reasonless suppression is ignored and the
 // underlying diagnostic is reported with a note, so the merge gate
 // cannot be waved through silently.
+//
+// Suppressions are themselves audited: the staleallow analyzer (part of
+// the default suite, also runnable alone via `pmwcaslint -audit`)
+// reports any //lint:allow that no longer absorbs a diagnostic, names an
+// unknown analyzer, or lacks a reason — so a fixed violation cannot
+// leave its excuse behind as dead documentation.
 package lint
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -82,13 +117,20 @@ const (
 	epochPath = "pmwcas/internal/epoch"
 )
 
-// Analyzers is the full pmwcaslint suite, in reporting order.
+// Analyzers is the full pmwcaslint suite, in reporting order. The first
+// five are the intra-procedural checkers from the original suite; the
+// next three are the facts-based interprocedural checkers; staleallow
+// audits the suppressions the others consulted.
 var Analyzers = []*analysis.Analyzer{
 	RawLoad,
 	FlagMask,
 	GuardPair,
 	StoreFence,
 	DescReuse,
+	FlushFact,
+	GuardFact,
+	DescFlow,
+	StaleAllow,
 }
 
 // isNamed reports whether t (after pointer indirection) is the named type
@@ -180,6 +222,59 @@ func protocolOffsetArg(info *types.Info, call *ast.CallExpr) ast.Expr {
 func isNamedRecv(info *types.Info, recv ast.Expr, path, name string) bool {
 	t := info.TypeOf(recv)
 	return t != nil && isNamed(t, path, name)
+}
+
+// calleeFunc resolves the function or method call invokes, or nil for
+// conversions, calls of function-typed values, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// coreFlagNames are the names whose presence in an expression shows the
+// author is reasoning about flag bits deliberately.
+var coreFlagNames = map[string]bool{
+	"DirtyFlag":   true,
+	"MwCASFlag":   true,
+	"RDCSSFlag":   true,
+	"FlagsMask":   true,
+	"AddressMask": true,
+}
+
+// containsFlagName reports whether e references one of core's flag-bit
+// names — evidence of deliberate flag inspection rather than a payload
+// comparison.
+func containsFlagName(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var id *ast.Ident
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			id = x.Sel
+		case *ast.Ident:
+			id = x
+		default:
+			return true
+		}
+		if !coreFlagNames[id.Name] {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // fingerprints collects the named components of an offset expression:
@@ -274,92 +369,5 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
 }
 
-// ---- suppression comments ---------------------------------------------
-
-// allowRE matches //lint:allow and //lint:file-allow comments. Group 1 is
-// "file-" or empty, group 2 the analyzer list, group 3 the reason.
-var allowRE = regexp.MustCompile(`^//\s*lint:(file-)?allow\s+([a-z][a-z0-9_,\s]*?)\s*(?:(?:—|--|:)\s*(.*\S)?)?\s*$`)
-
-// suppressions indexes the //lint:allow comments of one package.
-type suppressions struct {
-	fset *token.FileSet
-	// lines maps filename -> line -> analyzer names allowed on that line
-	// (a line comment covers its own line and the one below it).
-	lines map[string]map[int][]string
-	// files maps filename -> analyzer names allowed for the whole file.
-	files map[string][]string
-	// bad holds positions of reasonless suppressions, noted in diagnostics.
-	bad map[string]map[int]bool
-}
-
-func newSuppressions(pass *analysis.Pass) *suppressions {
-	s := &suppressions{
-		fset:  pass.Fset,
-		lines: make(map[string]map[int][]string),
-		files: make(map[string][]string),
-		bad:   make(map[string]map[int]bool),
-	}
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := s.fset.Position(c.Pos())
-				names := splitNames(m[2])
-				if m[3] == "" {
-					// Reasonless: record so diagnostics can say why the
-					// suppression did not take.
-					if s.bad[pos.Filename] == nil {
-						s.bad[pos.Filename] = make(map[int]bool)
-					}
-					s.bad[pos.Filename][pos.Line] = true
-					continue
-				}
-				if m[1] == "file-" {
-					s.files[pos.Filename] = append(s.files[pos.Filename], names...)
-					continue
-				}
-				if s.lines[pos.Filename] == nil {
-					s.lines[pos.Filename] = make(map[int][]string)
-				}
-				s.lines[pos.Filename][pos.Line] = append(s.lines[pos.Filename][pos.Line], names...)
-			}
-		}
-	}
-	return s
-}
-
-func splitNames(list string) []string {
-	var out []string
-	for _, n := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-		if n != "" {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// allowed reports whether a diagnostic for analyzer name at pos is
-// suppressed. note is non-empty when a malformed (reasonless)
-// suppression was found nearby; analyzers append it to the diagnostic.
-func (s *suppressions) allowed(pos token.Pos, name string) (ok bool, note string) {
-	p := s.fset.Position(pos)
-	for _, n := range s.files[p.Filename] {
-		if n == name {
-			return true, ""
-		}
-	}
-	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, n := range s.lines[p.Filename][line] {
-			if n == name {
-				return true, ""
-			}
-		}
-	}
-	if s.bad[p.Filename][p.Line] || s.bad[p.Filename][p.Line-1] {
-		return false, " (note: a lint:allow comment without a reason is ignored — add one after “—”)"
-	}
-	return false, ""
-}
+// Suppression comments are parsed by the Suppress prerequisite analyzer
+// (suppress.go) and audited by StaleAllow (staleallow.go).

@@ -14,3 +14,20 @@ func TestStoreFence(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.StoreFence, "storefence")
 }
 func TestDescReuse(t *testing.T) { linttest.Run(t, linttest.TestData(t), lint.DescReuse, "descreuse") }
+
+// The interprocedural analyzers run over fixture package chains in
+// dependency order: facts exported while analyzing a/ are imported while
+// analyzing b/ and c/, exactly as `go vet` threads .vetx files. Each
+// chain includes a violation that crosses two package hops.
+func TestFlushFact(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.FlushFact, "flushfact/a", "flushfact/b", "flushfact/c")
+}
+func TestGuardFact(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.GuardFact, "guardfact/a", "guardfact/b", "guardfact/c")
+}
+func TestDescFlow(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.DescFlow, "descflow/a", "descflow/b", "descflow/c")
+}
+func TestStaleAllow(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), lint.StaleAllow, "staleallow")
+}

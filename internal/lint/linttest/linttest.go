@@ -108,10 +108,13 @@ type expectation struct {
 	raw  string
 }
 
-var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+var wantRE = regexp.MustCompile(`^//\s*want(\+\d+)?\s+(.*)$`)
 
 // parseWants extracts expectations from a file's comments. The payload is
-// a sequence of Go string literals (usually backquoted regexps).
+// a sequence of Go string literals (usually backquoted regexps). The
+// `// want+N` form expects the diagnostic N lines below the comment —
+// needed when the flagged line is itself a comment (staleallow reports
+// on the //lint:allow line, which cannot carry a second line comment).
 func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
 	t.Helper()
 	var wants []expectation
@@ -122,7 +125,11 @@ func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			rest := strings.TrimSpace(m[1])
+			offset := 0
+			if m[1] != "" {
+				offset, _ = strconv.Atoi(m[1][1:])
+			}
+			rest := strings.TrimSpace(m[2])
 			for rest != "" {
 				lit, err := strconv.QuotedPrefix(rest)
 				if err != nil {
@@ -137,7 +144,7 @@ func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
 				if err != nil {
 					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
 				}
-				wants = append(wants, expectation{pos.Filename, pos.Line, re, unq})
+				wants = append(wants, expectation{pos.Filename, pos.Line + offset, re, unq})
 			}
 		}
 	}
@@ -156,39 +163,26 @@ type diagnostic struct {
 // fixture's // want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	RunDirs(t, testdata, a, dir)
+}
+
+// RunDirs is the multi-package form of Run: it loads each fixture
+// package in the order given, type-checks later ones against the
+// earlier ones (a fixture may import another as "fixtures/<dir>"), and
+// runs the analyzer over every package with a shared fact store — so
+// facts exported while analyzing an early package are importable while
+// analyzing a later one, exactly as unitchecker threads .vetx files
+// between `go vet` actions. Dirs must be listed in dependency order.
+// Diagnostics and // want expectations are collected across all
+// packages.
+func RunDirs(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
 	exportOnce.Do(loadExports)
 	if exportErr != nil {
 		t.Fatal(exportErr)
 	}
 
-	pkgDir := filepath.Join(testdata, "src", dir)
-	entries, err := os.ReadDir(pkgDir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var filenames []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
-		}
-	}
-	sort.Strings(filenames)
-	if len(filenames) == 0 {
-		t.Fatalf("no fixture files in %s", pkgDir)
-	}
-
 	fset := token.NewFileSet()
-	var files []*ast.File
-	var wants []expectation
-	for _, name := range filenames {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, f)
-		wants = append(wants, parseWants(t, fset, f)...)
-	}
-
 	lookup := func(path string) (io.ReadCloser, error) {
 		exp, ok := exportFiles[path]
 		if !ok {
@@ -196,80 +190,119 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
 		}
 		return os.Open(exp)
 	}
+	imp := &fixtureImporter{
+		base: importer.ForCompiler(fset, "gc", lookup),
+		pkgs: make(map[string]*types.Package),
+	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Importer: imp,
 		Sizes:    types.SizesFor("gc", "amd64"),
 	}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Instances:  make(map[*ast.Ident]types.Instance),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Implicits:  make(map[ast.Node]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Scopes:     make(map[ast.Node]*types.Scope),
-	}
-	pkg, err := conf.Check("fixtures/"+dir, fset, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", dir, err)
-	}
 
-	var diags []diagnostic
-	results := make(map[*analysis.Analyzer]interface{})
-	// objFacts is a process-local fact store, enough for ctrlflow's
-	// noReturn facts within the fixture package (cross-package facts are
-	// simply absent: fixtures use panic() for no-return paths).
+	// objFacts is the shared fact store. Because the importer hands the
+	// type-checker the same *types.Package for fixture imports, object
+	// identity is preserved across packages and a fact exported on a
+	// function while analyzing its package is found when an importing
+	// package asks for it.
 	objFacts := make(map[objFactKey]analysis.Fact)
-	var run func(an *analysis.Analyzer) error
-	run = func(an *analysis.Analyzer) error {
-		if _, done := results[an]; done {
-			return nil
+	var diags []diagnostic
+	var wants []expectation
+
+	for _, dir := range dirs {
+		pkgDir := filepath.Join(testdata, "src", dir)
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for _, req := range an.Requires {
-			if err := run(req); err != nil {
-				return err
+		var filenames []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
 			}
 		}
-		pass := &analysis.Pass{
-			Analyzer:   an,
-			Fset:       fset,
-			Files:      files,
-			Pkg:        pkg,
-			TypesInfo:  info,
-			TypesSizes: conf.Sizes,
-			ResultOf:   results,
-			Report: func(d analysis.Diagnostic) {
-				if an != a {
-					return // diagnostics of prerequisite analyzers are not under test
-				}
-				pos := fset.Position(d.Pos)
-				diags = append(diags, diagnostic{pos.Filename, pos.Line, d.Message})
-			},
-			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
-				f, ok := objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
-				if ok {
-					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
-				}
-				return ok
-			},
-			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
-				objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
-			},
-			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-			ExportPackageFact: func(analysis.Fact) {},
-			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-			AllPackageFacts:   func() []analysis.PackageFact { return nil },
-			ReadFile:          os.ReadFile,
+		sort.Strings(filenames)
+		if len(filenames) == 0 {
+			t.Fatalf("no fixture files in %s", pkgDir)
 		}
-		res, err := an.Run(pass)
+
+		var files []*ast.File
+		for _, name := range filenames {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+			wants = append(wants, parseWants(t, fset, f)...)
+		}
+
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		path := "fixtures/" + dir
+		pkg, err := conf.Check(path, fset, files, info)
 		if err != nil {
-			return fmt.Errorf("analyzer %s: %w", an.Name, err)
+			t.Fatalf("type-checking fixture %s: %v", dir, err)
 		}
-		results[an] = res
-		return nil
-	}
-	if err := run(a); err != nil {
-		t.Fatal(err)
+		imp.pkgs[path] = pkg
+
+		results := make(map[*analysis.Analyzer]interface{})
+		var run func(an *analysis.Analyzer) error
+		run = func(an *analysis.Analyzer) error {
+			if _, done := results[an]; done {
+				return nil
+			}
+			for _, req := range an.Requires {
+				if err := run(req); err != nil {
+					return err
+				}
+			}
+			pass := &analysis.Pass{
+				Analyzer:   an,
+				Fset:       fset,
+				Files:      files,
+				Pkg:        pkg,
+				TypesInfo:  info,
+				TypesSizes: conf.Sizes,
+				ResultOf:   results,
+				Report: func(d analysis.Diagnostic) {
+					if an != a {
+						return // diagnostics of prerequisite analyzers are not under test
+					}
+					pos := fset.Position(d.Pos)
+					diags = append(diags, diagnostic{pos.Filename, pos.Line, d.Message})
+				},
+				ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+					f, ok := objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+					if ok {
+						reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+					}
+					return ok
+				},
+				ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+					objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+				},
+				ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+				ExportPackageFact: func(analysis.Fact) {},
+				AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+				AllPackageFacts:   func() []analysis.PackageFact { return nil },
+				ReadFile:          os.ReadFile,
+			}
+			res, err := an.Run(pass)
+			if err != nil {
+				return fmt.Errorf("analyzer %s: %w", an.Name, err)
+			}
+			results[an] = res
+			return nil
+		}
+		if err := run(a); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// Match diagnostics against expectations: every want must be hit by a
@@ -293,6 +326,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
 			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.message)
 		}
 	}
+}
+
+// fixtureImporter resolves "fixtures/<dir>" imports to the
+// already-type-checked fixture package (preserving object identity, on
+// which the shared fact store depends) and everything else through the
+// gc export-data importer.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	return im.base.Import(path)
 }
 
 type objFactKey struct {

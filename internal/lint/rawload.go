@@ -15,8 +15,9 @@ var RawLoad = &analysis.Analyzer{
 	Name: "rawload",
 	Doc: "report raw Device.Load/Device.CAS on PMwCAS-managed words (paper §3: reads must flush-before-read " +
 		"via core.PCASRead or Handle.Read; swaps must go through core.PCAS or a descriptor)",
-	Flags: rawloadFlags(),
-	Run:   runRawLoad,
+	Flags:    rawloadFlags(),
+	Requires: []*analysis.Analyzer{Suppress},
+	Run:      runRawLoad,
 }
 
 // rawloadAllowPkgs holds the comma-separated list of import-path suffixes
@@ -47,7 +48,7 @@ func runRawLoad(pass *analysis.Pass) (interface{}, error) {
 	if len(managed) == 0 {
 		return nil, nil // package never uses the protocol
 	}
-	sup := newSuppressions(pass)
+	sup := suppressionsOf(pass)
 
 	for _, file := range pass.Files {
 		if !refersToCore(file) || isTestFile(pass.Fset, file.Pos()) {

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// StaleAllow audits the package's //lint:allow suppressions after every
+// checker has run. A suppression that absorbed no diagnostic is dead
+// weight: either the underlying violation was fixed (delete the comment)
+// or the comment never matched anything (a typo in the analyzer name, a
+// comment that drifted away from its line). Dead suppressions are worse
+// than none — they read as documented, reviewed exceptions while guarding
+// nothing — so the auditor fails the merge gate on them.
+//
+// It also reports suppressions whose analyzer name is not part of the
+// suite, and suppressions with no reason (which the checkers already
+// ignore; here they become a hard failure instead of a footnote).
+//
+// Run alone via `pmwcaslint -audit ./...`, which enables only this
+// analyzer: the checkers still execute (they are prerequisites, which is
+// how use is tracked) but only audit findings are printed.
+var StaleAllow = &analysis.Analyzer{
+	Name: "staleallow",
+	Doc: "report //lint:allow suppressions that no longer suppress anything, " +
+		"name an unknown analyzer, or carry no reason",
+	Requires: []*analysis.Analyzer{
+		Suppress,
+		RawLoad, FlagMask, GuardPair, StoreFence, DescReuse,
+		FlushFact, GuardFact, DescFlow,
+	},
+	Run: runStaleAllow,
+}
+
+// checkerNames are the analyzer names a suppression may legitimately
+// grant. staleallow itself is deliberately absent: an audit finding is
+// fixed by deleting the dead comment, not by suppressing the auditor.
+var checkerNames = map[string]bool{
+	"rawload":    true,
+	"flagmask":   true,
+	"guardpair":  true,
+	"storefence": true,
+	"descreuse":  true,
+	"flushfact":  true,
+	"guardfact":  true,
+	"descflow":   true,
+}
+
+func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
+	sup := suppressionsOf(pass)
+
+	// go vet analyzes a package twice when it has test files: once without
+	// them and once with. Suppressions are audited only in the unit that
+	// contains their file, and non-test suppressions only in the base unit
+	// — the richer test unit can only add diagnostics (test files extend
+	// the managed-word set), never remove them, so the base unit is the
+	// authoritative judge of whether a non-test suppression still earns
+	// its keep.
+	testUnit := false
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			testUnit = true
+			break
+		}
+	}
+
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	for _, e := range sup.entries {
+		inTestFile := strings.HasSuffix(e.filename, "_test.go")
+		if inTestFile != testUnit {
+			continue
+		}
+		kind := "lint:allow"
+		if e.file {
+			kind = "lint:file-allow"
+		}
+		switch {
+		case !e.reason:
+			pass.Reportf(e.pos,
+				"%s %s has no reason and is ignored by the checkers; state why the violation is deliberate after “—”, or delete the comment",
+				kind, e.name)
+		case !checkerNames[e.name]:
+			pass.Reportf(e.pos,
+				"%s names unknown analyzer %q (known: rawload, flagmask, guardpair, storefence, descreuse, flushfact, guardfact, descflow)",
+				kind, e.name)
+		case !e.used:
+			pass.Reportf(e.pos,
+				"stale suppression: %s %s no longer suppresses any diagnostic here — the violation it excused is gone; delete it",
+				kind, e.name)
+		}
+	}
+	return nil, nil
+}

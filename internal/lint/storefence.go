@@ -27,7 +27,7 @@ var StoreFence = &analysis.Analyzer{
 	Name: "storefence",
 	Doc: "report Device.Store with no subsequent Flush on any path to return " +
 		"(unflushed stores are discarded by a crash, paper §3)",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{Suppress, inspect.Analyzer, ctrlflow.Analyzer},
 	Run:      runStoreFence,
 }
 
@@ -35,7 +35,7 @@ func runStoreFence(pass *analysis.Pass) (interface{}, error) {
 	if pkgExempt(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	sup := newSuppressions(pass)
+	sup := suppressionsOf(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
 

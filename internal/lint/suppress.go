@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Suppress collects the //lint:allow and //lint:file-allow comments of a
+// package and hands the index to every checker through Requires. It is
+// not a checker itself — it reports nothing — but centralizing the parse
+// lets the suite track which suppressions actually absorb a diagnostic,
+// which is what the staleallow auditor keys on.
+var Suppress = &analysis.Analyzer{
+	Name:       "lintallow",
+	Doc:        "index //lint:allow suppression comments and track their use (internal prerequisite)",
+	Run:        func(pass *analysis.Pass) (interface{}, error) { return newSuppressions(pass), nil },
+	ResultType: reflect.TypeOf((*suppressions)(nil)),
+}
+
+// allowRE matches //lint:allow and //lint:file-allow comments. Group 1 is
+// "file-" or empty, group 2 the analyzer list, group 3 the reason.
+var allowRE = regexp.MustCompile(`^//\s*lint:(file-)?allow\s+([a-z][a-z0-9_,\s]*?)\s*(?:(?:—|--|:)\s*(.*\S)?)?\s*$`)
+
+// allowEntry is one analyzer name granted by one suppression comment. A
+// comment naming several analyzers produces several entries, so the
+// auditor can report the one stale name in an otherwise live comment.
+type allowEntry struct {
+	name     string // analyzer the comment allows
+	pos      token.Pos
+	filename string
+	line     int
+	file     bool // //lint:file-allow
+	reason   bool // carries a reason after —/--/:
+	used     bool // absorbed at least one diagnostic this pass
+}
+
+// suppressions indexes the //lint:allow comments of one package.
+type suppressions struct {
+	fset *token.FileSet
+	mu   sync.Mutex
+	// entries holds every parsed suppression in file order.
+	entries []*allowEntry
+	// lines maps filename -> line -> entries allowed on that line (a line
+	// comment covers its own line and the one below it).
+	lines map[string]map[int][]*allowEntry
+	// files maps filename -> entries allowed for the whole file.
+	files map[string][]*allowEntry
+	// bad holds positions of reasonless suppressions, noted in diagnostics.
+	bad map[string]map[int]bool
+}
+
+func newSuppressions(pass *analysis.Pass) *suppressions {
+	s := &suppressions{
+		fset:  pass.Fset,
+		lines: make(map[string]map[int][]*allowEntry),
+		files: make(map[string][]*allowEntry),
+		bad:   make(map[string]map[int]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := s.fset.Position(c.Pos())
+				hasReason := m[3] != ""
+				if !hasReason {
+					// Reasonless: record so diagnostics can say why the
+					// suppression did not take.
+					if s.bad[pos.Filename] == nil {
+						s.bad[pos.Filename] = make(map[int]bool)
+					}
+					s.bad[pos.Filename][pos.Line] = true
+				}
+				for _, name := range splitNames(m[2]) {
+					e := &allowEntry{
+						name:     name,
+						pos:      c.Pos(),
+						filename: pos.Filename,
+						line:     pos.Line,
+						file:     m[1] == "file-",
+						reason:   hasReason,
+					}
+					s.entries = append(s.entries, e)
+					if !hasReason {
+						continue // never matches; kept for the auditor
+					}
+					if e.file {
+						s.files[pos.Filename] = append(s.files[pos.Filename], e)
+						continue
+					}
+					if s.lines[pos.Filename] == nil {
+						s.lines[pos.Filename] = make(map[int][]*allowEntry)
+					}
+					s.lines[pos.Filename][pos.Line] = append(s.lines[pos.Filename][pos.Line], e)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func splitNames(list string) []string {
+	var out []string
+	for _, n := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// allowed reports whether a diagnostic for analyzer name at pos is
+// suppressed, and marks the absorbing entry used. note is non-empty when
+// a malformed (reasonless) suppression was found nearby; analyzers append
+// it to the diagnostic.
+func (s *suppressions) allowed(pos token.Pos, name string) (ok bool, note string) {
+	p := s.fset.Position(pos)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.files[p.Filename] {
+		if e.name == name {
+			e.used = true
+			return true, ""
+		}
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, e := range s.lines[p.Filename][line] {
+			if e.name == name {
+				e.used = true
+				return true, ""
+			}
+		}
+	}
+	if s.bad[p.Filename][p.Line] || s.bad[p.Filename][p.Line-1] {
+		return false, " (note: a lint:allow comment without a reason is ignored — add one after “—”)"
+	}
+	return false, ""
+}
+
+// suppressionsOf extracts the shared suppression index from a pass whose
+// analyzer Requires Suppress.
+func suppressionsOf(pass *analysis.Pass) *suppressions {
+	return pass.ResultOf[Suppress].(*suppressions)
+}

@@ -1,0 +1,91 @@
+// Midstream fixture for the descflow analyzer: imports the upstream
+// killers, uses descriptors after a callee retired them (one package
+// hop), and re-exports a forwarder so a third package can violate
+// across two hops.
+package b
+
+import (
+	"fixtures/descflow/a"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+func badAfterCommit(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	if err := d.AddWord(addr, 0, 1); err != nil {
+		return err
+	}
+	if err := a.Commit(d); err != nil {
+		return err
+	}
+	return d.AddWord(addr, 1, 2) // want `descriptor d used after fixtures/descflow/a\.Commit retired it`
+}
+
+func badAfterForward(h *core.Handle) int {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return 0
+	}
+	_ = a.Finish(d)
+	return d.WordCount() // want `descriptor d used after fixtures/descflow/a\.Finish retired it`
+}
+
+func badDeadOnArrival(h *core.Handle) int {
+	d := a.Spent(h)
+	return d.WordCount() // want `descriptor d used after fixtures/descflow/a\.Spent \(returns an already-retired descriptor\)`
+}
+
+func goodCommitLast(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	if err := d.AddWord(addr, 0, 1); err != nil {
+		_ = d.Discard()
+		return err
+	}
+	return a.Commit(d)
+}
+
+func goodRebind(h *core.Handle, addr nvram.Offset) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	_ = a.Commit(d)
+	d, err = h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	return d.AddWord(addr, 0, 1)
+}
+
+func goodInspect(h *core.Handle) int {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return 0
+	}
+	n := a.Inspect(d)
+	_ = d.Discard()
+	return n
+}
+
+func goodSuppressed(h *core.Handle) nvram.Offset {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return 0
+	}
+	_ = a.Commit(d)
+	//lint:allow descflow — Offset is a stable identity, safe to read after retirement
+	return d.Offset()
+}
+
+// Seal forwards the kill across another package hop: descflow must
+// re-export KillsDescriptor[0] for it, sourced from the imported fact.
+func Seal(d *core.Descriptor) error {
+	return a.Commit(d)
+}

@@ -1,0 +1,27 @@
+// Downstream fixture for the descflow analyzer: the Execute happens two
+// package hops away (a.Commit, forwarded by b.Seal); the use-after-kill
+// here must still be flagged.
+package c
+
+import (
+	"fixtures/descflow/b"
+
+	"pmwcas/internal/core"
+)
+
+func badTwoHops(h *core.Handle) int {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return 0
+	}
+	_ = b.Seal(d)
+	return d.WordCount() // want `descriptor d used after fixtures/descflow/b\.Seal retired it`
+}
+
+func goodTwoHops(h *core.Handle) error {
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		return err
+	}
+	return b.Seal(d)
+}

@@ -1,0 +1,46 @@
+// Upstream fixture for the flushfact analyzer: this package owns a
+// PMwCAS-managed word and exports a helper that returns it raw-loaded.
+// flushfact must attach ReturnsUnflushed to RawSlot (and nothing to
+// CleanSlot), for importing fixture packages to consume.
+package a
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// Table owns one PMwCAS-managed slot word.
+type Table struct {
+	Dev  *nvram.Device
+	Slot nvram.Offset
+}
+
+// Publish swaps the slot through the protocol, which makes Slot a
+// managed fingerprint in this package.
+func (t *Table) Publish(old, new uint64) bool {
+	return core.PCAS(t.Dev, t.Slot, old, new)
+}
+
+// RawSlot returns the slot word without flushing or masking: the value
+// may carry DirtyFlag/MwCASFlag in its top bits. Exports
+// ReturnsUnflushed[0].
+func (t *Table) RawSlot() uint64 {
+	return t.Dev.Load(t.Slot)
+}
+
+// RawSlotVia returns the same raw word through a local variable; the
+// taint must survive the indirection.
+func (t *Table) RawSlotVia() uint64 {
+	v := t.Dev.Load(t.Slot)
+	return v
+}
+
+// CleanSlot reads through the protocol (flush-before-read); no fact.
+func (t *Table) CleanSlot() uint64 {
+	return core.PCASRead(t.Dev, t.Slot)
+}
+
+// MaskedSlot masks before returning; no fact.
+func (t *Table) MaskedSlot() uint64 {
+	return t.Dev.Load(t.Slot) &^ core.FlagsMask
+}

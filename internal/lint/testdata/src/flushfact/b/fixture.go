@@ -1,0 +1,62 @@
+// Midstream fixture for the flushfact analyzer: imports the upstream
+// package, misuses its raw-returning helper (one package hop), and
+// re-exports a forwarder so a third package can violate across two hops.
+package b
+
+import (
+	"fixtures/flushfact/a"
+
+	"pmwcas/internal/core"
+)
+
+func badCompare(t *a.Table) bool {
+	v := t.RawSlot()
+	return v == 7 // want `comparison \(==\) of the unflushed PMwCAS word returned by .*RawSlot`
+}
+
+func badCompareDirect(t *a.Table) bool {
+	return t.RawSlotVia() != 0 // want `comparison \(!=\) of the unflushed PMwCAS word returned by .*RawSlotVia`
+}
+
+func badSwitch(t *a.Table) int {
+	switch t.RawSlot() { // want `switch on the unflushed PMwCAS word returned by .*RawSlot`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func badRestore(t *a.Table) bool {
+	v := t.RawSlot()
+	return core.PCAS(t.Dev, t.Slot, v, v+1) // want `re-storing the unflushed PMwCAS word returned by .*RawSlot`
+}
+
+func goodMasked(t *a.Table) bool {
+	v := t.RawSlot() &^ core.FlagsMask
+	return v == 7
+}
+
+func goodClean(t *a.Table) bool {
+	return t.CleanSlot() == 7
+}
+
+func goodMaskedUpstream(t *a.Table) bool {
+	return t.MaskedSlot() == 7
+}
+
+// goodFlagProbe compares against the flag constants themselves, which is
+// deliberate flag inspection.
+func goodFlagProbe(t *a.Table) bool {
+	return t.RawSlot()&core.DirtyFlag == core.DirtyFlag
+}
+
+func goodSuppressed(t *a.Table) bool {
+	//lint:allow flushfact — recovery has already scrubbed the flags on this path
+	return t.RawSlot() == 0
+}
+
+// Fetch forwards the raw word another hop: flushfact must re-export
+// ReturnsUnflushed[0] for it, sourced from the imported fact.
+func Fetch(t *a.Table) uint64 {
+	return t.RawSlot()
+}

@@ -1,0 +1,19 @@
+// Downstream fixture for the flushfact analyzer: the raw Device.Load
+// lives two package hops away (a.RawSlot, forwarded by b.Fetch); the
+// unmasked comparison here must still be flagged.
+package c
+
+import (
+	"fixtures/flushfact/a"
+	"fixtures/flushfact/b"
+
+	"pmwcas/internal/core"
+)
+
+func badTwoHops(t *a.Table) bool {
+	return b.Fetch(t) != 0 // want `comparison \(!=\) of the unflushed PMwCAS word returned by .*Fetch`
+}
+
+func goodTwoHopsMasked(t *a.Table) bool {
+	return b.Fetch(t)&^core.FlagsMask != 0
+}

@@ -1,0 +1,59 @@
+// Midstream fixture for the guardfact analyzer: imports the upstream
+// store, violates its imported RequiresGuard and ReadsWord facts (one
+// package hop), and re-exports an annotated wrapper so a third package
+// can violate across two hops.
+package b
+
+import (
+	"fixtures/guardfact/a"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/epoch"
+	"pmwcas/internal/nvram"
+)
+
+// Index owns a managed head word of its own and wraps the upstream
+// store.
+type Index struct {
+	S    *a.Store
+	Dev  *nvram.Device
+	Mgr  *epoch.Manager
+	Head nvram.Offset
+}
+
+// Publish makes Head a managed fingerprint in this package.
+func (ix *Index) Publish(old, new uint64) bool {
+	return core.PCAS(ix.Dev, ix.Head, old, new)
+}
+
+func (ix *Index) badCall() uint64 {
+	return ix.S.ReadLink() // want `call to .*ReadLink, which is annotated //pmwcas:requires-guard is not dominated`
+}
+
+func (ix *Index) goodCall() uint64 {
+	g := ix.Mgr.Register()
+	g.Enter()
+	defer g.Exit()
+	return ix.S.ReadLink()
+}
+
+// badReadThrough passes this package's managed offset to the upstream
+// ReadsWord reader without a guard: the dereference happens here.
+func (ix *Index) badReadThrough() uint64 {
+	return ix.S.ReadAt(ix.Head) // want `call to .*ReadAt dereferencing PMwCAS-managed word .* is not dominated`
+}
+
+func (ix *Index) goodReadThrough() uint64 {
+	g := ix.Mgr.Register()
+	g.Enter()
+	defer g.Exit()
+	return ix.S.ReadAt(ix.Head)
+}
+
+// Deref reads the upstream link on the caller's behalf: the imported
+// obligation is forwarded, not discharged.
+//
+//pmwcas:requires-guard — runs under the caller's guard; see a.ReadLink
+func Deref(s *a.Store) uint64 {
+	return s.ReadLink()
+}

@@ -1,0 +1,22 @@
+// Downstream fixture for the guardfact analyzer: the dereference lives
+// two package hops away (a.ReadLink, wrapped by the annotated b.Deref);
+// the unguarded call here must still be flagged.
+package c
+
+import (
+	"fixtures/guardfact/a"
+	"fixtures/guardfact/b"
+
+	"pmwcas/internal/epoch"
+)
+
+func badTwoHops(s *a.Store) uint64 {
+	return b.Deref(s) // want `call to .*Deref, which is annotated //pmwcas:requires-guard is not dominated`
+}
+
+func goodTwoHops(m *epoch.Manager, s *a.Store) uint64 {
+	g := m.Register()
+	g.Enter()
+	defer g.Exit()
+	return b.Deref(s)
+}

@@ -1,0 +1,53 @@
+// Fixtures for the staleallow auditor. The diagnostics land on the
+// //lint:allow comment lines themselves, so the expectations here use
+// the plus-one form: a diagnostic is expected one line below.
+package staleallow
+
+// want+1 `lint:file-allow storefence no longer suppresses any diagnostic here`
+//lint:file-allow storefence — nothing in this file stores raw anymore
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+type box struct {
+	dev  *nvram.Device
+	word nvram.Offset
+}
+
+func (b *box) publish(old, new uint64) bool {
+	return core.PCAS(b.dev, b.word, old, new)
+}
+
+// liveSuppression really absorbs a flagmask diagnostic; the auditor must
+// stay silent about it.
+func (b *box) liveSuppression(expect uint64) bool {
+	//lint:allow flagmask — recovery clears the flags before this path runs
+	return b.dev.Load(b.word) == expect
+}
+
+// fixedLongAgo: the read below was converted to PCASRead, but the
+// suppression outlived the violation.
+func (b *box) fixedLongAgo(expect uint64) bool {
+	// want+1 `stale suppression: lint:allow flagmask no longer suppresses any diagnostic here`
+	//lint:allow flagmask — the comparison below used to be a raw load
+	return core.PCASRead(b.dev, b.word) == expect
+}
+
+// typoedName: the analyzer name never matched anything.
+func (b *box) typoedName(expect uint64) bool {
+	// want+1 `names unknown analyzer "rawlod"`
+	//lint:allow rawlod — meant rawload, so this guards nothing
+	v := b.dev.Load(b.word) &^ core.FlagsMask
+	return v == expect
+}
+
+// reasonless: the checkers ignore a suppression with no reason; the
+// auditor makes it a hard failure.
+func (b *box) reasonless(expect uint64) bool {
+	// want+1 `lint:allow rawload has no reason and is ignored by the checkers`
+	//lint:allow rawload
+	v := b.dev.Load(b.word) &^ core.FlagsMask
+	return v == expect
+}

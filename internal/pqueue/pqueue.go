@@ -89,7 +89,9 @@ func New(cfg Config) (*Queue, error) {
 		tailAnchor: cfg.Roots.Base + nvram.WordSize,
 	}
 	staged := cfg.Roots.Base + 2*nvram.WordSize
+	//lint:allow guardfact — single-threaded open path; no handle exists yet, so nothing can reclaim (§4.4)
 	head := core.PCASRead(q.dev, q.headAnchor)
+	//lint:allow guardfact — single-threaded open path; no handle exists yet, so nothing can reclaim (§4.4)
 	tail := core.PCASRead(q.dev, q.tailAnchor)
 	sv := q.dev.Load(staged)
 	if head != 0 && tail != 0 {

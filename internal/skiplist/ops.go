@@ -96,6 +96,8 @@ func (h *Handle) insert(key, value uint64) error {
 
 // promote links node into the level-i list. Returns false if the node was
 // deleted (its level word was sealed) before the promotion could land.
+//
+//pmwcas:requires-guard — reads level words of a node deletion may retire
 func (h *Handle) promote(node nvram.Offset, key uint64, level int) bool {
 	for {
 		// A base delete seals unpromoted levels by marking their zero
@@ -385,6 +387,8 @@ func (h *Handle) delete(key uint64, pinValue bool, valuePolicy core.Policy) (uin
 // unlinkLevel removes node from the level-i list (one PMwCAS: mark +
 // unlink both directions). Best effort: if another thread unlinks it
 // first, that is success too.
+//
+//pmwcas:requires-guard — reads links of the node being unlinked
 func (h *Handle) unlinkLevel(node nvram.Offset, key uint64, level int) error {
 	for {
 		succ := h.read(node + linkOff(level, false))
@@ -434,6 +438,8 @@ const (
 // still touch it (§6.1). With pinValue set, the node's value word joins
 // the PMwCAS as a compare entry, certifying exactly which value the
 // deletion removed.
+//
+//pmwcas:requires-guard — reads the doomed node's links and value word
 func (h *Handle) unlinkBase(node nvram.Offset, key uint64, height int, pinValue bool, valuePolicy core.Policy) (unlinkResult, uint64, error) {
 	succ := h.read(node + linkOff(0, false))
 	if succ&DeletedMask != 0 {

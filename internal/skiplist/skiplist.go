@@ -317,6 +317,8 @@ type findResult struct {
 // marked link (its predecessor was deleted underfoot) it restarts from
 // the head — deletion unlinks atomically, so marked links are only ever
 // seen from nodes the traversal was already holding.
+//
+//pmwcas:requires-guard — walks links into nodes the epoch may reclaim
 func (h *Handle) find(key uint64) findResult {
 	l := h.list
 restart:
