@@ -1,17 +1,24 @@
-// Command indexbench runs the index workload experiments (E5, E6, E8):
-// skip list and Bw-tree throughput across implementation variants
-// (single-word-CAS baseline, volatile MwCAS, persistent PMwCAS),
-// operation mixes, and key distributions, plus the reverse-scan
-// comparison the doubly-linked skip list exists for.
+// Command indexbench runs the index workload experiments (E5, E6, E7,
+// E8): skip list, Bw-tree, and hash table throughput across
+// implementation variants (single-word-CAS baseline, volatile MwCAS,
+// persistent PMwCAS), operation mixes, and key distributions, plus the
+// reverse-scan comparison the doubly-linked skip list exists for.
 //
 // Usage:
 //
-//	indexbench [-index skiplist|bwtree|both] [-threads n] [-ops n]
+//	indexbench [-index skiplist|bwtree|hash|both|all] [-threads n] [-ops n]
 //	           [-keys n] [-dist uniform|zipf] [-mix readheavy|updateheavy|...]
 //	           [-flushns n] [-reverse]
+//	indexbench -matrix [-json out.json] [-threads n] [-ops n] [-keys n] [-flushns n]
+//
+// -matrix runs the cross-index evaluation: all three persistent indexes
+// through load / read / scan / mixed workloads under uniform and zipfian
+// key draws, one table. -json additionally writes the matrix as
+// machine-readable JSON (the format committed as BENCH_indexmatrix.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +29,7 @@ import (
 )
 
 func main() {
-	index := flag.String("index", "both", "skiplist, bwtree, or both")
+	index := flag.String("index", "both", "skiplist, bwtree, hash, both (ordered indexes), or all")
 	threads := flag.Int("threads", 4, "worker goroutines")
 	ops := flag.Int("ops", 20000, "operations per thread")
 	keys := flag.Uint64("keys", 1<<16, "key space size")
@@ -30,6 +37,8 @@ func main() {
 	mixName := flag.String("mix", "readheavy", "readonly, readheavy, updateheavy, insertdelete, scanheavy")
 	flushNS := flag.Int("flushns", 0, "simulated CLWB latency in ns")
 	reverse := flag.Bool("reverse", false, "run the reverse-scan comparison (E8)")
+	matrix := flag.Bool("matrix", false, "run the cross-index matrix (all indexes x workloads x distributions)")
+	jsonPath := flag.String("json", "", "with -matrix: also write results as JSON to this file")
 	flag.Parse()
 
 	mix, ok := map[string]harness.Mix{
@@ -63,15 +72,37 @@ func main() {
 	}
 	flush := time.Duration(*flushNS) * time.Nanosecond
 
+	if *matrix {
+		runMatrix(w, flush, *jsonPath)
+		return
+	}
+	if *jsonPath != "" {
+		fmt.Fprintln(os.Stderr, "indexbench: -json requires -matrix")
+		os.Exit(2)
+	}
 	if *reverse {
 		runReverse(w, flush)
 		return
 	}
-	if *index == "skiplist" || *index == "both" {
+	switch *index {
+	case "skiplist", "bwtree", "hash", "both", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "indexbench: unknown index %q (want skiplist, bwtree, hash, both, or all)\n", *index)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*index == "hash" || *index == "all") && w.Mix.Scans > 0 {
+		fmt.Fprintln(os.Stderr, "indexbench: the hash index is unordered and does not support scan mixes")
+		os.Exit(2)
+	}
+	if *index == "skiplist" || *index == "both" || *index == "all" {
 		runSkipList(w, flush)
 	}
-	if *index == "bwtree" || *index == "both" {
+	if *index == "bwtree" || *index == "both" || *index == "all" {
 		runBwTree(w, flush)
+	}
+	if *index == "hash" || *index == "all" {
+		runHash(w, flush)
 	}
 }
 
@@ -163,6 +194,140 @@ func runBwTree(w harness.Workload, flush time.Duration) {
 			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
 	}
 	tbl.Print(os.Stdout)
+}
+
+// runHash measures E7: the hash table has no single-word-CAS baseline
+// (every mutation is inherently multi-word), so the volatile MwCAS run
+// is the reference the persistence overhead is charged against.
+func runHash(w harness.Workload, flush time.Duration) {
+	tbl := harness.NewTable(
+		fmt.Sprintf("E7: hash table — %d threads, %s, %s", w.Threads, w.Dist, mixLabel(w.Mix)),
+		"variant", "ops/s", "flushes/op", "overhead vs volatile")
+	var baseline float64
+
+	{
+		s := storeFor(pmwcas.Volatile, flush)
+		t := must(s.HashTable(pmwcas.HashTableOptions{}))
+		r := must(harness.Run(&harness.HashTableFactory{Table: t, Label: "mwcas (volatile)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		baseline = r.OpsPerSec
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer, "-")
+	}
+	{
+		s := storeFor(pmwcas.Persistent, flush)
+		t := must(s.HashTable(pmwcas.HashTableOptions{}))
+		r := must(harness.Run(&harness.HashTableFactory{Table: t, Label: "pmwcas (persistent)"}, w,
+			func() uint64 { return s.Device().Stats().Flushes }))
+		tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
+			fmt.Sprintf("%.1f%%", harness.OverheadPct(baseline, r.OpsPerSec)))
+	}
+	tbl.Print(os.Stdout)
+}
+
+// matrixCell is one measured (index, workload, distribution) point of the
+// cross-index matrix — the JSON record format of BENCH_indexmatrix.json.
+type matrixCell struct {
+	Index        string  `json:"index"`
+	Workload     string  `json:"workload"`
+	Dist         string  `json:"dist"`
+	Supported    bool    `json:"supported"`
+	OpsPerSec    float64 `json:"ops_per_sec,omitempty"`
+	FlushesPerOp float64 `json:"flushes_per_op,omitempty"`
+}
+
+// matrixDoc is the JSON envelope: the parameters the numbers were
+// measured under travel with them.
+type matrixDoc struct {
+	Bench        string       `json:"bench"`
+	Threads      int          `json:"threads"`
+	OpsPerThread int          `json:"ops_per_thread"`
+	KeySpace     uint64       `json:"key_space"`
+	FlushNS      int64        `json:"flush_ns"`
+	Results      []matrixCell `json:"results"`
+}
+
+// runMatrix is the cross-index evaluation: every persistent index
+// through four workload shapes under two key distributions. Scan on the
+// hash index is reported as unsupported rather than measured — a hash
+// table faking a range scan would be benchmarking a lie.
+func runMatrix(w harness.Workload, flush time.Duration, jsonPath string) {
+	shapes := []struct {
+		name    string
+		mix     harness.Mix
+		preload bool
+	}{
+		{"load", harness.Mix{Inserts: 100}, false},
+		{"read", harness.ReadHeavy, true},
+		{"scan", harness.ScanHeavy, true},
+		{"mixed", harness.UpdateHeavy, true},
+	}
+	dists := []harness.Distribution{harness.Uniform, harness.Zipf}
+	indexes := []string{"skiplist", "bwtree", "hash"}
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("Index matrix — persistent stores, %d threads, %d keys", w.Threads, w.KeySpace),
+		"index", "workload", "dist", "ops/s", "flushes/op")
+	doc := matrixDoc{
+		Bench:        "indexmatrix",
+		Threads:      w.Threads,
+		OpsPerThread: w.OpsPer,
+		KeySpace:     w.KeySpace,
+		FlushNS:      flush.Nanoseconds(),
+	}
+	for _, ix := range indexes {
+		for _, shape := range shapes {
+			for _, d := range dists {
+				cell := matrixCell{Index: ix, Workload: shape.name, Dist: d.String()}
+				if ix == "hash" && shape.mix.Scans > 0 {
+					tbl.Add(ix, shape.name, d.String(), "n/a (unordered)", "-")
+					doc.Results = append(doc.Results, cell)
+					continue
+				}
+				cw := w
+				cw.Mix = shape.mix
+				cw.Dist = d
+				if !shape.preload {
+					cw.Preload = 0
+				}
+				s := storeFor(pmwcas.Persistent, flush)
+				r := must(harness.Run(matrixFactory(s, ix), cw,
+					func() uint64 { return s.Device().Stats().Flushes }))
+				cell.Supported = true
+				cell.OpsPerSec = r.OpsPerSec
+				cell.FlushesPerOp = r.FlushesPer
+				doc.Results = append(doc.Results, cell)
+				tbl.Add(ix, shape.name, d.String(), harness.Throughput(r.OpsPerSec), r.FlushesPer)
+			}
+		}
+	}
+	tbl.Print(os.Stdout)
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexbench:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "indexbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// matrixFactory opens index ix on store s in its matrix configuration.
+func matrixFactory(s *pmwcas.Store, ix string) harness.IndexFactory {
+	switch ix {
+	case "skiplist":
+		return &harness.SkipListFactory{List: must(s.SkipList()), Label: "skiplist"}
+	case "bwtree":
+		return &harness.BwTreeFactory{Tree: must(s.BwTree(pmwcas.BwTreeOptions{})), Label: "bwtree"}
+	case "hash":
+		return &harness.HashTableFactory{Table: must(s.HashTable(pmwcas.HashTableOptions{})), Label: "hash"}
+	}
+	panic("indexbench: unreachable index " + ix)
 }
 
 // runReverse measures E8: reverse scans on the doubly-linked list vs the

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	pmwcas-server [-addr :7171] [-file store.img] [-index skiplist|bwtree]
+//	pmwcas-server [-addr :7171] [-file store.img] [-index skiplist|bwtree|hash]
 //	              [-mode persistent|volatile] [-size mib] [-maxconns n]
 //
 // Stop with SIGINT/SIGTERM: the server drains in-flight requests, closes
@@ -32,7 +32,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7171", "listen address")
 	file := flag.String("file", "", "store snapshot path: loaded at start if present, checkpointed on shutdown (persistent mode)")
-	index := flag.String("index", "skiplist", "storage backend: skiplist (blob values) or bwtree (word values)")
+	index := flag.String("index", "skiplist", "storage backend: skiplist (blob values), bwtree, or hash (word values; no SCAN)")
 	mode := flag.String("mode", "persistent", "persistence mode: persistent or volatile")
 	sizeMiB := flag.Uint64("size", 256, "store size in MiB")
 	maxConns := flag.Int("maxconns", 64, "concurrent connection cap (also the store-handle pool size)")

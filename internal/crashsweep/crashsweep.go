@@ -114,6 +114,7 @@ func storeConfig(opt Options) pmwcas.Config {
 		Descriptors:        64,
 		MaxHandles:         16,
 		BwTreeMappingSlots: 1 << 10,
+		HashDirSlots:       1 << 6,
 	}
 	if opt.EvictEvery > 0 {
 		cfg.EvictEvery = opt.EvictEvery

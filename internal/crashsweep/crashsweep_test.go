@@ -49,7 +49,7 @@ func TestSweepShort(t *testing.T) {
 	if testing.Short() {
 		ops = 12
 	}
-	for _, w := range []string{"skiplist", "bwtree", "pqueue", "blobkv"} {
+	for _, w := range []string{"skiplist", "bwtree", "hashtable", "pqueue", "blobkv"} {
 		w := w
 		t.Run(w, func(t *testing.T) {
 			t.Parallel()
@@ -78,7 +78,7 @@ func TestSweepWithEviction(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:1]
 	}
-	for _, w := range []string{"skiplist", "bwtree", "pqueue", "blobkv"} {
+	for _, w := range []string{"skiplist", "bwtree", "hashtable", "pqueue", "blobkv"} {
 		for _, seed := range seeds {
 			w, seed := w, seed
 			t.Run(w, func(t *testing.T) {

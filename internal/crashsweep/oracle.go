@@ -57,6 +57,7 @@ type kvTarget int
 const (
 	targetSkipList kvTarget = iota
 	targetBwTree
+	targetHash
 )
 
 type kvOracle struct {
@@ -126,12 +127,17 @@ type kvSnap struct {
 
 func (s *kvSnap) match(ds *pmwcas.DurableState) error {
 	got := map[uint64]uint64{}
-	if s.target == targetSkipList {
+	switch s.target {
+	case targetSkipList:
 		for _, e := range ds.SkipList {
 			got[e.Key] = e.Value
 		}
-	} else {
+	case targetBwTree:
 		for _, e := range ds.BwTree {
+			got[e.Key] = e.Value
+		}
+	case targetHash:
+		for _, e := range ds.Hash {
 			got[e.Key] = e.Value
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"pmwcas"
 	"pmwcas/internal/blobkv"
 	"pmwcas/internal/bwtree"
+	"pmwcas/internal/hashtable"
 	"pmwcas/internal/pqueue"
 	"pmwcas/internal/server"
 	"pmwcas/internal/skiplist"
@@ -37,6 +38,11 @@ var workloads = []workload{
 		name:      "bwtree",
 		newOracle: func() oracle { return newKVOracle(targetBwTree) },
 		run:       runBwTree,
+	},
+	{
+		name:      "hashtable",
+		newOracle: func() oracle { return newKVOracle(targetHash) },
+		run:       runHashTable,
 	},
 	{
 		name:      "pqueue",
@@ -173,6 +179,60 @@ func runBwTree(st *pmwcas.Store, o oracle, opt Options) error {
 			got, err := h.Get(key)
 			want, ok := kv.expect(key)
 			if errors.Is(err, bwtree.ErrNotFound) {
+				if ok {
+					return fmt.Errorf("get %#x: not found, model has %#x", key, want)
+				}
+			} else if err != nil {
+				return fmt.Errorf("get %#x: %w", key, err)
+			} else if !ok || got != want {
+				return fmt.Errorf("get %#x = %#x, model has %#x (present %v)", key, got, want, ok)
+			}
+		}
+	}
+	return nil
+}
+
+// runHashTable uses deliberately tiny buckets so a few hundred
+// operations over 96 keys force many splits and several directory
+// doublings — the structure-changing crash points — alongside the plain
+// insert/update/delete descriptor paths.
+func runHashTable(st *pmwcas.Store, o oracle, opt Options) error {
+	kv := o.(*kvOracle)
+	tab, err := st.HashTable(pmwcas.HashTableOptions{SlotsPerBucket: 4})
+	if err != nil {
+		return err
+	}
+	h := tab.NewHandle()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < opt.Ops; i++ {
+		key := uint64(rng.Intn(96)) + 1
+		switch rng.Intn(6) {
+		case 0, 1, 2, 3: // upsert-heavy, to fill buckets and trigger splits
+			val := uint64(rng.Intn(1<<20)) + 1
+			kv.begin(kvOp{kvPut, key, val})
+			err := h.Insert(key, val)
+			if errors.Is(err, hashtable.ErrKeyExists) {
+				err = h.Update(key, val)
+			}
+			kv.commit(err == nil)
+			if err != nil {
+				return fmt.Errorf("put %#x: %w", key, err)
+			}
+		case 4:
+			kv.begin(kvOp{kvDelete, key, 0})
+			err := h.Delete(key)
+			if errors.Is(err, hashtable.ErrNotFound) {
+				kv.commit(false)
+			} else if err != nil {
+				kv.commit(false)
+				return fmt.Errorf("delete %#x: %w", key, err)
+			} else {
+				kv.commit(true)
+			}
+		case 5:
+			got, err := h.Get(key)
+			want, ok := kv.expect(key)
+			if errors.Is(err, hashtable.ErrNotFound) {
 				if ok {
 					return fmt.Errorf("get %#x: not found, model has %#x", key, want)
 				}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pmwcas/internal/bwtree"
+	"pmwcas/internal/hashtable"
 	"pmwcas/internal/skiplist"
 )
 
@@ -13,11 +14,13 @@ import (
 func isExpected(err error) bool {
 	return err == nil ||
 		errors.Is(err, skiplist.ErrKeyExists) || errors.Is(err, skiplist.ErrNotFound) ||
-		errors.Is(err, bwtree.ErrKeyExists) || errors.Is(err, bwtree.ErrNotFound)
+		errors.Is(err, bwtree.ErrKeyExists) || errors.Is(err, bwtree.ErrNotFound) ||
+		errors.Is(err, hashtable.ErrKeyExists) || errors.Is(err, hashtable.ErrNotFound)
 }
 
 func isNotFound(err error) bool {
-	return errors.Is(err, skiplist.ErrNotFound) || errors.Is(err, bwtree.ErrNotFound)
+	return errors.Is(err, skiplist.ErrNotFound) || errors.Is(err, bwtree.ErrNotFound) ||
+		errors.Is(err, hashtable.ErrNotFound)
 }
 
 // SkipListFactory adapts the PMwCAS skip list (persistent or volatile,
@@ -83,6 +86,32 @@ func (o skipListOps) ScanReverse(from, to uint64, fn func(uint64, uint64) bool) 
 
 func (o casListOps) ScanReverse(from, to uint64, fn func(uint64, uint64) bool) error {
 	return o.h.ScanReverse(from, to, func(e skiplist.Entry) bool { return fn(e.Key, e.Value) })
+}
+
+// HashTableFactory adapts the hash table. Scan reports
+// hashtable.ErrUnordered — callers wanting every entry use Range on the
+// handle instead; scan mixes are simply not meaningful on a hash index.
+type HashTableFactory struct {
+	Table *hashtable.Table
+	Label string
+}
+
+// Name implements IndexFactory.
+func (f *HashTableFactory) Name() string { return f.Label }
+
+// NewOps implements IndexFactory.
+func (f *HashTableFactory) NewOps(seed int64) IndexOps {
+	return hashTableOps{f.Table.NewHandle()}
+}
+
+type hashTableOps struct{ h *hashtable.Handle }
+
+func (o hashTableOps) Insert(k, v uint64) error     { return o.h.Insert(k, v) }
+func (o hashTableOps) Get(k uint64) (uint64, error) { return o.h.Get(k) }
+func (o hashTableOps) Update(k, v uint64) error     { return o.h.Update(k, v) }
+func (o hashTableOps) Delete(k uint64) error        { return o.h.Delete(k) }
+func (o hashTableOps) Scan(from, to uint64, fn func(uint64, uint64) bool) error {
+	return hashtable.ErrUnordered
 }
 
 // BwTreeFactory adapts the Bw-tree (any SMO mode).

@@ -1,0 +1,258 @@
+//lint:file-allow rawload — invariant checking inspects the raw durable image of
+// a recovered (quiescent) store; going through pmwcas_read would "help" — i.e.
+// mutate — the very state being audited, and would spin forever on exactly the
+// dangling descriptor pointers the checker exists to detect.
+
+//lint:file-allow guardfact — the checker runs single-threaded against a quiescent image; no epoch machinery is active, so there is nothing to guard against (§4.4)
+
+// Structural invariant checking for crash sweeps: Check walks the durable
+// image of a recovered hash table and verifies every property a crash at
+// an arbitrary device operation is required to preserve.
+package hashtable
+
+import (
+	"fmt"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// Check audits the durable image of a (recovered, quiescent) hash table
+// anchored at roots with the directory at dir. It returns every arena
+// block the table reaches — live buckets, sealed interior buckets, and a
+// staged-but-unpublished first bucket — plus the table's logical
+// contents, so callers can cross-check the allocator bitmap and a
+// durable-linearizability oracle.
+//
+// Invariants verified:
+//
+//   - the anchor line is absent, published, or a staged first-
+//     initialization state the staging word corroborates;
+//   - the durable slot geometry is sane and every live directory entry
+//     names a bucket whose class covers the entry's whole suffix class
+//     (local depth <= global depth);
+//   - the buckets form a rooted binary radix tree: exactly one depth-0
+//     root, child depth = parent depth + 1, parent words invert child
+//     words, sealed buckets have both children and live buckets none;
+//   - no reachable word carries a descriptor flag (recovery removes every
+//     descriptor pointer);
+//   - every key sits in the bucket its hash suffix routes to, appears in
+//     exactly one live bucket, and pairs a clean value (free slots are
+//     fully zero).
+func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry, error) {
+	depthWord := roots.Base
+	stagedWord := roots.Base + nvram.WordSize
+	geomWord := roots.Base + 2*nvram.WordSize
+
+	load := func(off nvram.Offset) uint64 { return dev.Load(off) &^ core.DirtyFlag }
+
+	dw := load(depthWord)
+	sv := load(stagedWord)
+	if dw == 0 {
+		// Table never published. The only block the image can own is a
+		// staged first bucket, reachable through the staging word; first
+		// initialization releases and retries it on the next open.
+		if sv != 0 {
+			return []nvram.Offset{nvram.Offset(sv)}, nil, nil
+		}
+		return nil, nil, nil
+	}
+	gdepth := int(dw) - 1
+	maxDepth := 0
+	for d := dir.Len / nvram.WordSize; d > 1; d >>= 1 {
+		maxDepth++
+	}
+	if gdepth > maxDepth {
+		return nil, nil, fmt.Errorf("hashtable: global depth %d exceeds directory capacity %d", gdepth, maxDepth)
+	}
+	slots := load(geomWord)
+	if slots < 1 || slots > 255 {
+		return nil, nil, fmt.Errorf("hashtable: durable slot geometry %d outside [1,255]", slots)
+	}
+	// A nonzero staging word is legal only in the publish window, where it
+	// still aliases dir[0] (the depth word and staging word share one
+	// atomic line, so only eviction of the half-updated line exposes it).
+	if sv != 0 && sv != load(dir.Base) {
+		return nil, nil, fmt.Errorf("hashtable: staging word %#x disagrees with dir[0] %#x", sv, load(dir.Base))
+	}
+
+	// Collect every bucket the directory reaches, walking child pointers
+	// down and parent pointers up: directory repair can swing entries past
+	// sealed ancestors, so ancestors are only reachable through parents.
+	type bucketInfo struct {
+		meta, parent uint64
+		c0, c1       nvram.Offset
+	}
+	buckets := make(map[nvram.Offset]*bucketInfo)
+	var pending []nvram.Offset
+	for j := nvram.Offset(0); j < 1<<uint(gdepth); j++ {
+		e := load(dir.Base + j*nvram.WordSize)
+		if e == 0 {
+			return nil, nil, fmt.Errorf("hashtable: zero directory entry %d at global depth %d", j, gdepth)
+		}
+		pending = append(pending, nvram.Offset(e))
+	}
+	loadPtr := func(off nvram.Offset, what string, b nvram.Offset) (nvram.Offset, error) {
+		raw := dev.Load(off)
+		if raw&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+			return 0, fmt.Errorf("hashtable: %s of bucket %#x holds descriptor flags: %#x", what, b, raw)
+		}
+		return nvram.Offset(raw &^ core.DirtyFlag), nil
+	}
+	for len(pending) > 0 {
+		b := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		if _, ok := buckets[b]; ok {
+			continue
+		}
+		rawMeta := dev.Load(b + bucketMetaOff)
+		if rawMeta&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+			return nil, nil, fmt.Errorf("hashtable: meta of bucket %#x holds descriptor flags: %#x", b, rawMeta)
+		}
+		info := &bucketInfo{meta: rawMeta &^ core.DirtyFlag}
+		var err error
+		if info.c0, err = loadPtr(b+bucketChild0Off, "child0", b); err != nil {
+			return nil, nil, err
+		}
+		if info.c1, err = loadPtr(b+bucketChild1Off, "child1", b); err != nil {
+			return nil, nil, err
+		}
+		if p, err := loadPtr(b+bucketParentOff, "parent", b); err != nil {
+			return nil, nil, err
+		} else {
+			info.parent = uint64(p)
+		}
+		buckets[b] = info
+		if info.c0 != 0 {
+			pending = append(pending, info.c0)
+		}
+		if info.c1 != 0 {
+			pending = append(pending, info.c1)
+		}
+		if info.parent != 0 {
+			pending = append(pending, nvram.Offset(info.parent))
+		}
+	}
+
+	// The buckets must form one radix tree: a unique depth-0 root with a
+	// zero parent word, every other bucket one level below its parent.
+	root := nvram.Offset(0)
+	for b, info := range buckets {
+		if info.parent == 0 {
+			if root != 0 {
+				return nil, nil, fmt.Errorf("hashtable: two parentless buckets %#x and %#x", root, b)
+			}
+			root = b
+		}
+	}
+	if root == 0 {
+		return nil, nil, fmt.Errorf("hashtable: no root bucket (parent cycle)")
+	}
+	if d := metaDepth(buckets[root].meta); d != 0 {
+		return nil, nil, fmt.Errorf("hashtable: root bucket %#x has depth %d, want 0", root, d)
+	}
+
+	// DFS from the root assigning each bucket its hash-suffix class,
+	// verifying tree shape and slot contents as it goes.
+	type visit struct {
+		b     nvram.Offset
+		class uint64
+	}
+	liveKeys := make(map[uint64]nvram.Offset)
+	var entries []Entry
+	classes := make(map[nvram.Offset]uint64)
+	visited := make(map[nvram.Offset]bool)
+	stack := []visit{{root, 0}}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v.b] {
+			return nil, nil, fmt.Errorf("hashtable: bucket %#x reached twice (not a tree)", v.b)
+		}
+		visited[v.b] = true
+		classes[v.b] = v.class
+		info := buckets[v.b]
+		depth := metaDepth(info.meta)
+		if depth > maxBucketDepth {
+			return nil, nil, fmt.Errorf("hashtable: bucket %#x depth %d exceeds max %d", v.b, depth, maxBucketDepth)
+		}
+		sealed := metaSealed(info.meta)
+		if sealed != (info.c0 != 0) || sealed != (info.c1 != 0) {
+			return nil, nil, fmt.Errorf("hashtable: bucket %#x sealed=%v but children (%#x, %#x)", v.b, sealed, info.c0, info.c1)
+		}
+		for i := 0; i < int(slots); i++ {
+			key := load(slotKeyOff(v.b, i))
+			val := dev.Load(slotValOff(v.b, i))
+			if key&(core.MwCASFlag|core.RDCSSFlag) != 0 || val&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+				return nil, nil, fmt.Errorf("hashtable: slot %d of bucket %#x holds descriptor flags: (%#x, %#x)", i, v.b, key, val)
+			}
+			val &^= core.DirtyFlag
+			if key == 0 {
+				// Sealed buckets keep their pre-split contents verbatim, so
+				// only live buckets promise zero values behind zero keys.
+				if val != 0 && !sealed {
+					return nil, nil, fmt.Errorf("hashtable: free slot %d of bucket %#x has value %#x", i, v.b, val)
+				}
+				continue
+			}
+			if key >= MaxKey {
+				return nil, nil, fmt.Errorf("hashtable: key %#x in bucket %#x out of range", key, v.b)
+			}
+			if got := mix64(key) & ((1 << uint(depth)) - 1); got != v.class {
+				return nil, nil, fmt.Errorf("hashtable: key %#x in bucket %#x routes to class %#x, bucket covers %#x at depth %d", key, v.b, got, v.class, depth)
+			}
+			if !sealed {
+				if prev, dup := liveKeys[key]; dup {
+					return nil, nil, fmt.Errorf("hashtable: key %#x live in buckets %#x and %#x", key, prev, v.b)
+				}
+				liveKeys[key] = v.b
+				entries = append(entries, Entry{Key: key, Value: val})
+			}
+		}
+		if !sealed {
+			continue
+		}
+		for bit, c := range []nvram.Offset{info.c0, info.c1} {
+			ci, ok := buckets[c]
+			if !ok {
+				return nil, nil, fmt.Errorf("hashtable: child %#x of bucket %#x not collected", c, v.b)
+			}
+			if nvram.Offset(ci.parent) != v.b {
+				return nil, nil, fmt.Errorf("hashtable: child %#x parent word %#x, want %#x", c, ci.parent, v.b)
+			}
+			if cd := metaDepth(ci.meta); cd != depth+1 {
+				return nil, nil, fmt.Errorf("hashtable: child %#x depth %d under parent depth %d", c, cd, depth)
+			}
+			stack = append(stack, visit{c, v.class | uint64(bit)<<uint(depth)})
+		}
+	}
+	for b := range buckets {
+		if !visited[b] {
+			return nil, nil, fmt.Errorf("hashtable: bucket %#x not reachable from root %#x", b, root)
+		}
+	}
+
+	// Every live directory entry must name a collected bucket whose class
+	// is the entry index's own suffix — the hint property all routing and
+	// repair correctness rests on.
+	for j := nvram.Offset(0); j < 1<<uint(gdepth); j++ {
+		e := nvram.Offset(load(dir.Base + j*nvram.WordSize))
+		info, ok := buckets[e]
+		if !ok {
+			return nil, nil, fmt.Errorf("hashtable: directory entry %d names unknown bucket %#x", j, e)
+		}
+		depth := metaDepth(info.meta)
+		if depth > gdepth {
+			return nil, nil, fmt.Errorf("hashtable: directory entry %d names bucket %#x with depth %d > global %d", j, e, depth, gdepth)
+		}
+		if want := uint64(j) & ((1 << uint(depth)) - 1); classes[e] != want {
+			return nil, nil, fmt.Errorf("hashtable: directory entry %d names bucket %#x of class %#x, want %#x", j, e, classes[e], want)
+		}
+	}
+
+	blocks := make([]nvram.Offset, 0, len(buckets))
+	for b := range buckets {
+		blocks = append(blocks, b)
+	}
+	return blocks, entries, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hashtable
+
+const raceEnabled = false

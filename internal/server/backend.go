@@ -35,6 +35,12 @@ const (
 	// travel through the order-preserving word codec, so values are
 	// limited to keycodec.MaxLen bytes — a counters-and-flags regime.
 	IndexBwTree Index = "bwtree"
+	// IndexHash serves keys from the extendible hash table, the same
+	// codec-bounded regime as the Bw-tree but with O(1) point lookups and
+	// no key order: SCAN is rejected with a BAD_REQUEST (the wire protocol
+	// has no UNSUPPORTED status, and returning hash-ordered entries for an
+	// op every other index serves in key order would be a silent lie).
+	IndexHash Index = "hash"
 )
 
 // errNotFound normalizes the per-index not-found errors.
@@ -66,8 +72,18 @@ func newBackends(store *pmwcas.Store, index Index, n int) ([]backend, error) {
 			out[i] = &bwtreeBackend{h: tree.NewHandle()}
 		}
 		return out, nil
+	case IndexHash:
+		tab, err := store.HashTable(pmwcas.HashTableOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("server: open hashtable: %w", err)
+		}
+		out := make([]backend, n)
+		for i := range out {
+			out[i] = &hashBackend{h: tab.NewHandle()}
+		}
+		return out, nil
 	}
-	return nil, fmt.Errorf("server: unknown index %q (want %q or %q)", index, IndexSkipList, IndexBwTree)
+	return nil, fmt.Errorf("server: unknown index %q (want %q, %q, or %q)", index, IndexSkipList, IndexBwTree, IndexHash)
 }
 
 // blobBackend adapts a blobkv handle.
@@ -204,6 +220,61 @@ func (b *bwtreeBackend) Scan(from, end []byte, limit int, fn func(key, val []byt
 		return decodeErr
 	}
 	return err
+}
+
+// hashBackend adapts a hash table handle. The same codec regime as the
+// Bw-tree backend — keys and values packed into index words, both
+// bounded at keycodec.MaxLen bytes — but point operations only.
+type hashBackend struct {
+	h *pmwcas.HashTableHandle
+}
+
+func (b *hashBackend) Put(key, val []byte) error {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return err
+	}
+	if len(val) > keycodec.MaxLen {
+		return fmt.Errorf("%w: %d bytes (hash max %d)", errValueTooLarge, len(val), keycodec.MaxLen)
+	}
+	v, err := keycodec.Encode(val)
+	if err != nil {
+		return err
+	}
+	return b.h.Upsert(k, v)
+}
+
+func (b *hashBackend) Get(key []byte) ([]byte, error) {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := b.h.Get(k)
+	if errors.Is(err, pmwcas.ErrHashNotFound) {
+		return nil, errNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return keycodec.Decode(v)
+}
+
+func (b *hashBackend) Delete(key []byte) error {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return err
+	}
+	if err := b.h.Delete(k); err != nil {
+		if errors.Is(err, pmwcas.ErrHashNotFound) {
+			return errNotFound
+		}
+		return err
+	}
+	return nil
+}
+
+func (b *hashBackend) Scan(from, end []byte, limit int, fn func(key, val []byte) bool) error {
+	return pmwcas.ErrHashUnordered
 }
 
 // scanUpperBound maps a request's end-key to an encoded inclusive upper

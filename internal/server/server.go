@@ -349,7 +349,8 @@ func errResponse(err error) wire.Response {
 		return wire.Response{Status: wire.StatusNotFound, Msg: "key not found"}
 	case errors.Is(err, keycodec.ErrTooLong),
 		errors.Is(err, errValueTooLarge),
-		errors.Is(err, pmwcas.ErrBlobValueTooLarge):
+		errors.Is(err, pmwcas.ErrBlobValueTooLarge),
+		errors.Is(err, pmwcas.ErrHashUnordered):
 		return wire.Response{Status: wire.StatusBadRequest, Msg: err.Error()}
 	}
 	return wire.Response{Status: wire.StatusErr, Msg: err.Error()}

@@ -41,6 +41,7 @@ import (
 	"pmwcas/internal/bwtree"
 	"pmwcas/internal/core"
 	"pmwcas/internal/epoch"
+	"pmwcas/internal/hashtable"
 	"pmwcas/internal/keycodec"
 	"pmwcas/internal/nvram"
 	"pmwcas/internal/pqueue"
@@ -151,6 +152,16 @@ const (
 	SMOSingleCAS = bwtree.SMOSingleCAS
 )
 
+// HashTable is the persistent lock-free extendible hash table — the
+// store's point-lookup index, unordered by construction.
+type HashTable = hashtable.Table
+
+// HashTableHandle is a per-goroutine hash table context.
+type HashTableHandle = hashtable.Handle
+
+// HashEntry is one key/value pair yielded by a hash table Range.
+type HashEntry = hashtable.Entry
+
 // EpochManager is the epoch-based reclamation manager shared by the
 // PMwCAS pool and the indexes (§5.1).
 type EpochManager = epoch.Manager
@@ -166,6 +177,9 @@ var (
 	ErrBlobValueTooLarge = blobkv.ErrValueTooLarge
 	ErrBwTreeKeyExists   = bwtree.ErrKeyExists
 	ErrBwTreeNotFound    = bwtree.ErrNotFound
+	ErrHashKeyExists     = hashtable.ErrKeyExists
+	ErrHashNotFound      = hashtable.ErrNotFound
+	ErrHashUnordered     = hashtable.ErrUnordered
 	ErrPoolExhausted     = core.ErrPoolExhausted
 )
 
@@ -174,6 +188,9 @@ const MaxSkipListKey = skiplist.MaxKey - 1
 
 // MaxBwTreeKey is the largest insertable Bw-tree key.
 const MaxBwTreeKey = bwtree.MaxKey - 1
+
+// MaxHashKey is the largest insertable hash table key.
+const MaxHashKey = hashtable.MaxKey - 1
 
 // Short string keys: an order-preserving codec packing byte strings of
 // up to keycodec.MaxLen (7) bytes into the indexes' integer key domain,

@@ -9,6 +9,7 @@ import (
 	"pmwcas/internal/blobkv"
 	"pmwcas/internal/bwtree"
 	"pmwcas/internal/core"
+	"pmwcas/internal/hashtable"
 	"pmwcas/internal/nvram"
 	"pmwcas/internal/pqueue"
 	"pmwcas/internal/skiplist"
@@ -36,6 +37,11 @@ type Config struct {
 	// BwTreeMappingSlots sizes the Bw-tree mapping table (default 1<<16
 	// LPIDs). Only consumed when BwTree is opened.
 	BwTreeMappingSlots uint64
+	// HashDirSlots sizes the hash table directory (default 1<<12 bucket
+	// pointers; must be a power of two). The directory caps fan-out, not
+	// capacity — deeper buckets are reached through the bucket tree. Only
+	// consumed when HashTable is opened.
+	HashDirSlots uint64
 	// FlushLatency, if set, charges each cache-line write-back this much
 	// simulated time (models NVRAM write cost in benchmarks).
 	FlushLatency time.Duration
@@ -67,12 +73,15 @@ func (c *Config) fill() {
 	if c.BwTreeMappingSlots == 0 {
 		c.BwTreeMappingSlots = 1 << 16
 	}
+	if c.HashDirSlots == 0 {
+		c.HashDirSlots = 1 << 12
+	}
 	if c.Classes == nil {
 		// Derive classes from whatever is left after the fixed regions,
 		// with ~10% slack for bitmaps and rounding: five classes sharing
 		// the data budget evenly.
 		fixed := core.PoolSize(c.Descriptors, c.WordsPerDescriptor) +
-			c.BwTreeMappingSlots*nvram.WordSize + (64 << 10)
+			(c.BwTreeMappingSlots+c.HashDirSlots)*nvram.WordSize + (64 << 10)
 		if fixed >= c.Size {
 			fixed = c.Size / 2 // let allocator construction report the overflow
 		}
@@ -106,12 +115,14 @@ type Store struct {
 	pool  *core.Pool
 	alloc *alloc.Allocator
 
-	rootsRegion nvram.Region // skip list anchors + application roots
-	mapRegion   nvram.Region // Bw-tree mapping table
-	metaRegion  nvram.Region // Bw-tree meta line
-	blobRegion  nvram.Region // blob KV staging slots
-	poolRegion  nvram.Region
-	allocRegion nvram.Region
+	rootsRegion   nvram.Region // skip list anchors + application roots
+	mapRegion     nvram.Region // Bw-tree mapping table
+	metaRegion    nvram.Region // Bw-tree meta line
+	blobRegion    nvram.Region // blob KV staging slots
+	hashRegion    nvram.Region // hash table anchor line
+	hashDirRegion nvram.Region // hash table directory
+	poolRegion    nvram.Region
+	allocRegion   nvram.Region
 }
 
 // Create builds a fresh store on a new simulated device.
@@ -169,6 +180,10 @@ func assemble(dev *nvram.Device, cfg Config, recover bool) (*Store, error) {
 	s.mapRegion = l.Carve(cfg.BwTreeMappingSlots * nvram.WordSize)
 	s.metaRegion = l.Carve(nvram.LineBytes)
 	s.blobRegion = l.Carve(blobkv.StagingWords(cfg.MaxHandles) * nvram.WordSize)
+	// Hash table regions come last so their addition leaves every earlier
+	// region — and thus every pre-existing durable image — where it was.
+	s.hashRegion = l.Carve(nvram.LineBytes)
+	s.hashDirRegion = l.Carve(cfg.HashDirSlots * nvram.WordSize)
 
 	var err error
 	s.alloc, err = alloc.New(dev, s.allocRegion, cfg.Classes, cfg.MaxHandles)
@@ -385,6 +400,27 @@ func (s *Store) BwTree(opts BwTreeOptions) (*BwTree, error) {
 	})
 }
 
+// HashTableOptions tunes the store's hash table.
+type HashTableOptions struct {
+	// SlotsPerBucket is the fixed bucket capacity (default
+	// hashtable.DefaultSlotsPerBucket, a four-line bucket). An existing
+	// table's durable geometry must match.
+	SlotsPerBucket int
+}
+
+// HashTable opens the store's persistent lock-free hash table — the
+// point-lookup index — creating it on first use. Singleton per store
+// (fixed anchor line and directory region).
+func (s *Store) HashTable(opts HashTableOptions) (*HashTable, error) {
+	return hashtable.New(hashtable.Config{
+		Pool:           s.pool,
+		Allocator:      s.alloc,
+		Roots:          s.hashRegion,
+		Dir:            s.hashDirRegion,
+		SlotsPerBucket: opts.SlotsPerBucket,
+	})
+}
+
 // Crash simulates a power failure: every cache line that was not written
 // back is lost. The caller must guarantee quiescence (no in-flight
 // operations), exactly as a real power failure stops all CPUs. Follow
@@ -460,6 +496,7 @@ type CheckOptions struct {
 type DurableState struct {
 	SkipList []SkipListEntry
 	BwTree   []BwTreeEntry
+	Hash     []HashEntry       // unspecified order
 	Queue    []uint64          // FIFO order
 	Blobs    map[string][]byte // only populated with CheckOptions.Blob
 }
@@ -505,6 +542,13 @@ func (s *Store) CheckInvariants(opt CheckOptions) (*DurableState, error) {
 	}
 	reachable = append(reachable, blocks...)
 	st.BwTree = tentries
+
+	blocks, hentries, err := hashtable.Check(s.dev, s.hashRegion, s.hashDirRegion)
+	if err != nil {
+		return nil, err
+	}
+	reachable = append(reachable, blocks...)
+	st.Hash = hentries
 
 	if opt.Blob {
 		n := s.cfg.MaxHandles / 4
