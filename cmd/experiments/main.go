@@ -1,5 +1,6 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation in one run (experiment index E1-E9 in DESIGN.md), printing
+// evaluation in one run (experiment index E1-E9 in DESIGN.md, plus E11,
+// the traversal flush-elision delta of EXPERIMENTS.md), printing
 // paper-style tables. Absolute numbers reflect the simulated NVRAM
 // substrate; the shapes — who wins, by what factor, where contention and
 // persistence costs bite — are the reproduction targets.
@@ -41,7 +42,7 @@ func main() {
 	yield := flag.Int("yield", 4, "interleave logical threads every N device accesses (0 = off)")
 	runAblations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps (A1-A4)")
 	repsFlag := flag.Int("reps", 3, "repetitions per index-workload cell (median reported)")
-	only := flag.String("only", "", "run a single experiment (e1..e9)")
+	only := flag.String("only", "", "run a single experiment (e1..e9, e11)")
 	flag.Parse()
 	yieldEvery = *yield
 	reps = *repsFlag
@@ -74,6 +75,7 @@ func main() {
 	run("e7", func() { e7(sc) })
 	run("e8", func() { e8(sc, flush) })
 	run("e9", func() { e9() })
+	run("e11", func() { e11(*threads, sc, flush) })
 	if *runAblations {
 		ablations(*threads, sc)
 	}
@@ -285,6 +287,76 @@ func e6(threads int, sc scale, flush time.Duration) {
 			} else {
 				tbl.Add(r.Variant, harness.Throughput(r.OpsPerSec), r.FlushesPer,
 					fmt.Sprintf("%.1f%%", harness.OverheadPct(base, r.OpsPerSec)))
+			}
+		}
+		tbl.Print(os.Stdout)
+	}
+}
+
+// E11: traversal flush elision (ROADMAP item 3). Runs the persistent
+// skip list and Bw-tree under concurrent workloads with elision off
+// (the paper's conservative flush-before-read on every dirty word) and
+// on (descend paths use ReadTraverse; only CAS targets are persisted),
+// and reports the flush-per-op delta. Read-side flushes are
+// contention-driven — a single-threaded run sees almost none because
+// phase 2 eagerly persists — so this cell is only meaningful with
+// threads > 1 and yield interleaving.
+func e11(threads int, sc scale, flush time.Duration) {
+	defer core.SetFlushElision(true) // restore the default for later cells
+	for _, cell := range []struct {
+		label string
+		mix   harness.Mix
+		dist  harness.Distribution
+		keys  uint64
+		pre   int
+	}{
+		{"read-heavy 90/10 uniform", harness.ReadHeavy, harness.Uniform, sc.keySpace, sc.preload},
+		{"update-heavy 50/50 uniform", harness.UpdateHeavy, harness.Uniform, sc.keySpace, sc.preload},
+		// Zipfian skew over a small key space: traversals repeatedly
+		// pass hot, recently-written words, maximizing the dirty
+		// encounters the conservative rule would flush.
+		{"update-heavy 50/50 zipf hot", harness.UpdateHeavy, harness.Zipf, sc.keySpace >> 6, sc.preload >> 6},
+	} {
+		w := harness.Workload{
+			Threads: threads, OpsPer: sc.indexOps, KeySpace: cell.keys,
+			Dist: cell.dist, Mix: cell.mix, Preload: cell.pre,
+		}
+		tbl := harness.NewTable("E11: traversal flush elision — "+cell.label,
+			"index", "elision", "ops/s", "flushes/op", "flush reduction")
+		for _, idx := range []string{"skip list", "bw-tree"} {
+			var base float64 // flushes/op with elision off
+			for _, el := range []struct {
+				label string
+				on    bool
+			}{{"off", false}, {"on", true}} {
+				core.SetFlushElision(el.on)
+				s := newStore(pmwcas.Persistent, flush)
+				var f harness.IndexFactory
+				switch idx {
+				case "skip list":
+					l, err := s.SkipList()
+					if err != nil {
+						fail(err)
+					}
+					f = &harness.SkipListFactory{List: l, Label: idx}
+				case "bw-tree":
+					t, err := s.BwTree(pmwcas.BwTreeOptions{SMO: pmwcas.SMOPMwCAS})
+					if err != nil {
+						fail(err)
+					}
+					f = &harness.BwTreeFactory{Tree: t, Label: idx}
+				}
+				r, err := runMedian(f, w, func() uint64 { return s.Device().Stats().Flushes })
+				if err != nil {
+					fail(err)
+				}
+				red := "-"
+				if el.on && base > 0 {
+					red = fmt.Sprintf("%.1f%%", (1-r.FlushesPer/base)*100)
+				} else {
+					base = r.FlushesPer
+				}
+				tbl.Add(idx, el.label, harness.Throughput(r.OpsPerSec), r.FlushesPer, red)
 			}
 		}
 		tbl.Print(os.Stdout)

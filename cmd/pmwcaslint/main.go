@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/pmwcaslint ./...        # lint the whole tree
 //	go run ./cmd/pmwcaslint -audit ./... # only audit //lint:allow comments
+//	go run ./cmd/pmwcaslint -json ./...  # machine-readable diagnostics
 //	go vet -vettool=$(which pmwcaslint) ./...
 //
 // When invoked with package patterns, pmwcaslint re-executes itself
@@ -15,16 +16,30 @@
 // -audit enables only the staleallow analyzer: the checkers still run
 // (use tracking needs their verdicts) but only suppression-audit
 // findings are printed — stale //lint:allow comments, unknown analyzer
-// names, missing reasons.
+// names, missing reasons, and malformed //pmwcas: annotations.
+//
+// -json replaces the human-readable report with a single JSON array on
+// stdout, one object per diagnostic, sorted by file, line, and analyzer:
+//
+//	[{"file": "internal/x/y.go", "line": 12, "col": 3,
+//	  "analyzer": "rawload", "message": "raw Device.Load on ..."}]
+//
+// An empty report is the empty array. Exit codes are the same as the
+// human-readable mode: 1 when any diagnostic is reported, 0 when clean.
 //
 // Exit status is non-zero if any diagnostic is reported, and 2 when no
 // package pattern is given.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -51,16 +66,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	// explicitly enabling one analyzer reports only it, while its
 	// prerequisites (every checker) still execute and mark suppressions
 	// used.
+	jsonOut := false
 	var vetArgs []string
 	for _, arg := range args {
-		if arg == "-audit" || arg == "--audit" {
+		switch arg {
+		case "-audit", "--audit":
 			vetArgs = append(vetArgs, "-staleallow")
-			continue
+		case "-json", "--json":
+			jsonOut = true
+		default:
+			vetArgs = append(vetArgs, arg)
 		}
-		vetArgs = append(vetArgs, arg)
 	}
 	if len(vetArgs) == 0 || !hasPackageArg(vetArgs) {
-		fmt.Fprintln(stderr, "usage: pmwcaslint [-audit] [analyzer flags] package...")
+		fmt.Fprintln(stderr, "usage: pmwcaslint [-audit] [-json] [analyzer flags] package...")
 		fmt.Fprintln(stderr, "       (e.g. `pmwcaslint ./...`; run `go doc pmwcas/internal/lint` for the analyzer list)")
 		return 2
 	}
@@ -70,18 +89,137 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "pmwcaslint: cannot locate own binary:", err)
 		return 2
 	}
+	if jsonOut {
+		vetArgs = append([]string{"-json"}, vetArgs...)
+	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, vetArgs...)...)
-	cmd.Stdout = stdout
-	cmd.Stderr = stderr
 	cmd.Stdin = os.Stdin
+	if !jsonOut {
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return ee.ExitCode()
+			}
+			fmt.Fprintln(stderr, "pmwcaslint:", err)
+			return 2
+		}
+		return 0
+	}
+
+	// JSON mode: `go vet -json` writes `# pkg` comment lines and one JSON
+	// object per package to stderr — and exits 0 even with findings.
+	// Capture the stream, flatten it, and restore the human-mode exit
+	// contract (1 when anything was reported).
+	var raw bytes.Buffer
+	cmd.Stdout = stdout
+	cmd.Stderr = &raw
 	if err := cmd.Run(); err != nil {
+		// Build or driver failure, not diagnostics: surface it verbatim.
+		stderr.Write(raw.Bytes())
 		if ee, ok := err.(*exec.ExitError); ok {
 			return ee.ExitCode()
 		}
 		fmt.Fprintln(stderr, "pmwcaslint:", err)
 		return 2
 	}
+	diags, err := flattenVetJSON(raw.Bytes())
+	if err != nil {
+		fmt.Fprintln(stderr, "pmwcaslint: cannot parse go vet -json output:", err)
+		stderr.Write(raw.Bytes())
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diags); err != nil {
+		fmt.Fprintln(stderr, "pmwcaslint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
 	return 0
+}
+
+// jsonDiag is one diagnostic in `pmwcaslint -json` output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// flattenVetJSON parses the stderr stream of `go vet -json` — `# pkg`
+// comment lines interleaved with one {pkgpath: {analyzer: [diagnostic]}}
+// object per package — into a flat, deterministically ordered slice.
+// The result is never nil: an empty report must encode as [], not null.
+func flattenVetJSON(raw []byte) ([]jsonDiag, error) {
+	var clean bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		clean.Write(line)
+		clean.WriteByte('\n')
+	}
+	type vetDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	diags := []jsonDiag{}
+	dec := json.NewDecoder(&clean)
+	for {
+		var unit map[string]map[string][]vetDiag
+		if err := dec.Decode(&unit); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, list := range byAnalyzer {
+				for _, d := range list {
+					file, line, col := splitPosn(d.Posn)
+					diags = append(diags, jsonDiag{
+						File: file, Line: line, Col: col,
+						Analyzer: analyzer, Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// splitPosn parses "path:line:col" from the right, so path may contain
+// colons. Missing parts decay to zero rather than failing the report.
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		col, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		line, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	return rest, line, col
 }
 
 // hasPackageArg reports whether at least one argument is a package

@@ -33,6 +33,88 @@ func TestFlagsOnlyUsage(t *testing.T) {
 	}
 }
 
+// TestJSONOnlyUsage: -json still requires a package pattern.
+func TestJSONOnlyUsage(t *testing.T) {
+	stderr := captureFile(t)
+	if got := run([]string{"-json"}, os.Stdout, stderr); got != 2 {
+		t.Fatalf("run(-json) with no packages = %d, want 2", got)
+	}
+	if !strings.Contains(readBack(t, stderr), "usage: pmwcaslint") {
+		t.Fatal("run(-json) with no packages did not print usage")
+	}
+}
+
+// TestFlattenVetJSON: the `go vet -json` stream — `# pkg` comments plus
+// one JSON object per package — flattens into a deterministic slice.
+func TestFlattenVetJSON(t *testing.T) {
+	raw := []byte(`# pmwcas/internal/b
+{
+	"pmwcas/internal/b": {
+		"rawload": [
+			{"posn": "/repo/internal/b/x.go:15:35", "message": "raw load"}
+		]
+	}
+}
+# pmwcas/internal/a
+{
+	"pmwcas/internal/a": {
+		"persistord": [
+			{"posn": "/repo/internal/a/y.go:7:3", "message": "unflushed publish"},
+			{"posn": "/repo/internal/a/y.go:4:1", "message": "naked traverse"}
+		]
+	}
+}
+`)
+	diags, err := flattenVetJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("flattened %d diagnostics, want 3", len(diags))
+	}
+	want := []jsonDiag{
+		{File: "/repo/internal/a/y.go", Line: 4, Col: 1, Analyzer: "persistord", Message: "naked traverse"},
+		{File: "/repo/internal/a/y.go", Line: 7, Col: 3, Analyzer: "persistord", Message: "unflushed publish"},
+		{File: "/repo/internal/b/x.go", Line: 15, Col: 35, Analyzer: "rawload", Message: "raw load"},
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("diags[%d] = %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}
+
+// TestFlattenVetJSONEmpty: a clean run must yield a non-nil empty slice
+// so the report encodes as [], not null.
+func TestFlattenVetJSONEmpty(t *testing.T) {
+	diags, err := flattenVetJSON([]byte("# pmwcas/internal/clean\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags == nil || len(diags) != 0 {
+		t.Fatalf("flattenVetJSON(clean) = %#v, want empty non-nil slice", diags)
+	}
+}
+
+func TestSplitPosn(t *testing.T) {
+	for _, tc := range []struct {
+		posn string
+		file string
+		line int
+		col  int
+	}{
+		{"/repo/x.go:12:3", "/repo/x.go", 12, 3},
+		{"C:\\repo\\x.go:12:3", "C:\\repo\\x.go", 12, 3},
+		{"x.go:5", "x.go", 0, 5}, // degraded posn: parts decay, never fail
+	} {
+		f, l, c := splitPosn(tc.posn)
+		if f != tc.file || l != tc.line || c != tc.col {
+			t.Fatalf("splitPosn(%q) = (%q, %d, %d), want (%q, %d, %d)",
+				tc.posn, f, l, c, tc.file, tc.line, tc.col)
+		}
+	}
+}
+
 func captureFile(t *testing.T) *os.File {
 	t.Helper()
 	f, err := os.Create(filepath.Join(t.TempDir(), "stderr"))

@@ -191,6 +191,12 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	if cfg.Mode == Persistent {
 		p.dirty = DirtyFlag
+		// Arm the psan sanitizer: it must ignore the dirty bit when
+		// comparing a word against its persisted image (the bit is
+		// volatile metadata a flush intentionally leaves set). Volatile
+		// pools leave the device unarmed — their data structures never
+		// flush, so persist-ordering has no meaning there.
+		cfg.Device.SetShadowMask(DirtyFlag)
 	}
 	p.freeList = make([]int, 0, p.nDesc)
 	for i := p.nDesc - 1; i >= 0; i-- {
@@ -586,6 +592,7 @@ func (d *Descriptor) Discard() error {
 	d.done = true
 	p := d.h.pool
 	p.stats.discarded.Add(1)
+	p.dev.ShadowDrop()
 	p.retire(d.off, d.idx, false)
 	return nil
 }

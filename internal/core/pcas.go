@@ -61,5 +61,7 @@ func PCASFlush(dev *nvram.Device, addr nvram.Offset, oldValue, newValue uint64) 
 		return false
 	}
 	Persist(dev, addr, newValue|DirtyFlag)
+	// The value is durable: commit boundary for the psan sanitizer.
+	dev.ShadowCommit()
 	return true
 }

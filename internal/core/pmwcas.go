@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pmwcas/internal/nvram"
 )
@@ -50,6 +51,18 @@ func (d *Descriptor) Execute() (bool, error) {
 	d.h.guard.Enter()
 	ok := p.exec(d.off, false)
 	d.h.guard.Exit()
+
+	// Commit boundary for the psan persistency sanitizer: a successful
+	// Execute is the moment durable state may start depending on values
+	// this goroutine observed — verify none of them came off a line that
+	// was never flushed. Helpers are not checked here (they carry their
+	// own unrelated records); a failed Execute publishes nothing, so its
+	// records are dropped. Volatile mode never flushes by design.
+	if ok && p.mode == Persistent {
+		p.dev.ShadowCommit()
+	} else {
+		p.dev.ShadowDrop()
+	}
 
 	if ok {
 		p.stats.succeeded.Add(1)
@@ -266,5 +279,66 @@ func (p *Pool) read(addr nvram.Offset) uint64 {
 			continue
 		}
 		return v
+	}
+}
+
+// noElide disables traversal flush elision when set. The default (elision
+// on) implements ROADMAP item 3: persistence cost scales with writes, not
+// traversals. The knob exists so cmd/experiments can measure the delta and
+// so operators can fall back to the paper's conservative rule.
+var noElide atomic.Bool
+
+// SetFlushElision enables or disables traversal flush elision globally.
+func SetFlushElision(on bool) { noElide.Store(!on) }
+
+// FlushElisionEnabled reports whether ReadTraverse may return dirty values
+// without flushing them.
+func FlushElisionEnabled() bool { return !noElide.Load() }
+
+// ReadTraverse reads a PMwCAS-managed word for navigation only. Unlike
+// Read, it may return a value whose dirty bit is set — without flushing
+// the line — because a traversal-only value never enters durable state:
+// it is either compared (keys), followed (links), or re-validated as the
+// expected-old operand of a later PMwCAS, whose install path persists the
+// target before acquiring it (see installMwCASDescriptor). This is the
+// NVTraverse optimisation; the persistord analyzer statically enforces
+// that callers are annotated //pmwcas:traversal and derive no stores from
+// the result, and the psan sanitizer checks the same property at runtime.
+//
+// Words carrying a descriptor pointer are handled exactly like Read:
+// the descriptor pointer is persisted before helping, so the helping path
+// keeps its recovery guarantees.
+//
+// The caller's epoch guard is entered for the duration.
+func (h *Handle) ReadTraverse(addr nvram.Offset) uint64 {
+	h.pool.checkPoisoned()
+	h.guard.Enter()
+	v := h.pool.readTraverse(addr)
+	h.guard.Exit()
+	return v
+}
+
+func (p *Pool) readTraverse(addr nvram.Offset) uint64 {
+	if p.mode != Persistent || noElide.Load() {
+		return p.read(addr)
+	}
+	for {
+		v := p.dev.Load(addr)
+		if v&RDCSSFlag != 0 {
+			p.helpCompleteInstall(v & AddressMask)
+			continue
+		}
+		if v&MwCASFlag != 0 {
+			// Helping dereferences the descriptor, so the pointer must
+			// be durable first — same rule as read.
+			if v&DirtyFlag != 0 {
+				p.persist(addr, v)
+			}
+			p.stats.reads.Add(1)
+			p.exec(v&AddressMask, true)
+			continue
+		}
+		// Plain value: return it dirty-bit-stripped without persisting.
+		return v &^ DirtyFlag
 	}
 }

@@ -329,6 +329,33 @@ func (t *Table) wordRead(addr nvram.Offset) uint64 {
 	return t.dev.Load(addr)
 }
 
+// wordReadHint reads an anchor or directory word as a navigation hint.
+// In a regular persistent build it is wordRead: the PCASRead
+// flush-before-read, charged to the op like any protocol read. Under the
+// psan sanitizer build (-tags psan) it degrades to a masked raw load, the
+// same gating wordRead applies to volatile mode: the sanitizer's commit
+// check makes the flushing read redundant for navigation (a hint that is
+// never stored cannot commit unpersisted state), and keeping it would
+// charge every point op with hint-directory flushes the elision
+// experiments (EXPERIMENTS.md E11) deliberately exclude — double-counted
+// against the same Stats.Flushes the sanitizer run is validating.
+// Masking is sound here because anchor and directory words are
+// single-word PCAS targets, never MwCAS'd: the only reserved bit they
+// carry is DirtyFlag, so the masked value is the true word, merely not
+// yet persisted — and every path out of locate re-validates through a
+// flushing read or a descriptor install before publishing anything.
+func (t *Table) wordReadHint(addr nvram.Offset) uint64 {
+	if t.pool.Mode() == core.Persistent && !nvram.SanitizerEnabled {
+		return core.PCASRead(t.dev, addr)
+	}
+	if t.pool.Mode() == core.Persistent {
+		//lint:allow rawload — psan hint read: directory and anchor words are re-derivable copies of durably published words (LoadHint contract); the masked value is a hint every caller re-validates (§4.2)
+		return t.dev.LoadHint(addr) &^ core.FlagsMask
+	}
+	//lint:allow rawload — volatile mode publishes anchor and directory words with plain CAS; there is no dirty bit to observe (§4.2)
+	return t.dev.Load(addr)
+}
+
 func (t *Table) wordCAS(addr nvram.Offset, old, new uint64) bool {
 	if t.pool.Mode() == core.Persistent {
 		return core.PCAS(t.dev, addr, old, new)

@@ -10,9 +10,9 @@ import (
 //pmwcas:requires-guard — walks directory hints and bucket chain words the epoch may hand to late readers
 func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	t := h.t
-	g := int(t.wordRead(t.depthWord)) - 1
+	g := int(t.wordReadHint(t.depthWord)) - 1
 	dirOff := t.dirBase + (hash&((1<<uint(g))-1))*nvram.WordSize
-	first := t.wordRead(dirOff)
+	first := t.wordReadHint(dirOff)
 	if first == 0 {
 		panic("hashtable: zero directory entry — image corrupt")
 	}

@@ -25,7 +25,7 @@
 //     Discard it belongs to the pool's recycling machinery and must not
 //     be touched again.
 //
-// The five checkers above are intra-procedural. Three further checkers
+// The five checkers above are intra-procedural. Four further checkers
 // carry the same invariants across function and package boundaries using
 // go/analysis Facts (serialized per-package summaries the build system
 // threads from a dependency's analysis run to its importers):
@@ -54,6 +54,21 @@
 //     using the handle afterwards are flagged even though the kill
 //     happened in a callee — descreuse's single-function horizon no
 //     longer hides it.
+//   - persistord (DESIGN.md §6.2): verifies persist ordering around
+//     traversal flush elision. (*core.Handle).ReadTraverse skips the
+//     flush-before-read on pure descend paths; the value it returns is a
+//     correct navigation hint but possibly absent from the persisted
+//     image. Such a read is only legal inside a function annotated
+//     //pmwcas:traversal, and the values it observes — tracked through
+//     assignments, conversions, struct members, and PersistState facts
+//     across call and package boundaries — must never become durable
+//     payload: a raw store of one is flagged unless a Flush (direct or
+//     via a Flusher-fact callee) followed by a Fence appears later in the
+//     same function (staged initialisation), or the value goes through a
+//     descriptor, whose install loop re-persists every target at runtime.
+//     The psan build tag (`go test -tags psan`) arms a runtime sanitizer
+//     in internal/nvram that enforces the same contract dynamically, by
+//     value matching against the persisted image.
 //
 // # What "PMwCAS-managed" means to the analyzers
 //
@@ -119,8 +134,8 @@ const (
 
 // Analyzers is the full pmwcaslint suite, in reporting order. The first
 // five are the intra-procedural checkers from the original suite; the
-// next three are the facts-based interprocedural checkers; staleallow
-// audits the suppressions the others consulted.
+// next four are the facts-based interprocedural checkers; staleallow
+// audits the suppressions and //pmwcas: annotations the others consulted.
 var Analyzers = []*analysis.Analyzer{
 	RawLoad,
 	FlagMask,
@@ -130,6 +145,7 @@ var Analyzers = []*analysis.Analyzer{
 	FlushFact,
 	GuardFact,
 	DescFlow,
+	PersistOrd,
 	StaleAllow,
 }
 
@@ -202,7 +218,7 @@ func protocolOffsetArg(info *types.Info, call *ast.CallExpr) ast.Expr {
 				}
 			}
 		case isNamedRecv(info, recv, corePath, "Handle"):
-			if name == "Read" && len(call.Args) > 0 {
+			if (name == "Read" || name == "ReadTraverse") && len(call.Args) > 0 {
 				return call.Args[0]
 			}
 		}

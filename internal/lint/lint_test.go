@@ -28,6 +28,9 @@ func TestGuardFact(t *testing.T) {
 func TestDescFlow(t *testing.T) {
 	linttest.RunDirs(t, linttest.TestData(t), lint.DescFlow, "descflow/a", "descflow/b", "descflow/c")
 }
+func TestPersistOrd(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.PersistOrd, "persistord/a", "persistord/b", "persistord/c")
+}
 func TestStaleAllow(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.StaleAllow, "staleallow")
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -28,7 +29,7 @@ var StaleAllow = &analysis.Analyzer{
 	Requires: []*analysis.Analyzer{
 		Suppress,
 		RawLoad, FlagMask, GuardPair, StoreFence, DescReuse,
-		FlushFact, GuardFact, DescFlow,
+		FlushFact, GuardFact, DescFlow, PersistOrd,
 	},
 	Run: runStaleAllow,
 }
@@ -45,6 +46,18 @@ var checkerNames = map[string]bool{
 	"flushfact":  true,
 	"guardfact":  true,
 	"descflow":   true,
+	"persistord": true,
+}
+
+// annotationNames are the //pmwcas: marker annotations the suite
+// understands. Unlike suppressions they grant nothing by themselves —
+// requires-guard moves a proof obligation to callers, traversal permits
+// flush elision under rule enforcement — but a typoed or floating
+// annotation silently grants the wrong thing, so the audit holds them to
+// the same standard: known name, function doc comment, stated reason.
+var annotationNames = map[string]bool{
+	"requires-guard": true,
+	"traversal":      true,
 }
 
 func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
@@ -83,7 +96,7 @@ func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
 				kind, e.name)
 		case !checkerNames[e.name]:
 			pass.Reportf(e.pos,
-				"%s names unknown analyzer %q (known: rawload, flagmask, guardpair, storefence, descreuse, flushfact, guardfact, descflow)",
+				"%s names unknown analyzer %q (known: rawload, flagmask, guardpair, storefence, descreuse, flushfact, guardfact, descflow, persistord)",
 				kind, e.name)
 		case !e.used:
 			pass.Reportf(e.pos,
@@ -91,5 +104,62 @@ func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
 				kind, e.name)
 		}
 	}
+	auditAnnotations(pass, testUnit)
 	return nil, nil
+}
+
+// auditAnnotations applies the suppression standard to //pmwcas: marker
+// annotations: the name must be one the suite acts on (a typo like
+// //pmwcas:traverse would silently disable both the guard-obligation
+// transfer and the traversal store rules), the annotation must sit in a
+// function's doc comment (a floating one attaches to nothing), and it
+// must state its reason after a separator, like every other reviewed
+// exception in this codebase.
+func auditAnnotations(pass *analysis.Pass, testUnit bool) {
+	const prefix = "//pmwcas:"
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) != testUnit {
+			continue
+		}
+		inDoc := make(map[*ast.Comment]bool)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					inDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, prefix) {
+					continue // prose mentions start "// ", not "//pmwcas:"
+				}
+				rest := strings.TrimPrefix(text, prefix)
+				name := rest
+				reason := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+					reason = strings.TrimSpace(rest[i:])
+				}
+				for _, sep := range []string{"—", "--", ":"} {
+					reason = strings.TrimSpace(strings.TrimPrefix(reason, sep))
+				}
+				switch {
+				case !annotationNames[name]:
+					pass.Reportf(c.Pos(),
+						"//pmwcas: annotation names unknown contract %q (known: requires-guard, traversal); a typo here silently disables enforcement",
+						name)
+				case !inDoc[c]:
+					pass.Reportf(c.Pos(),
+						"//pmwcas:%s is not part of a function's doc comment and attaches to nothing; move it onto the function it governs",
+						name)
+				case reason == "":
+					pass.Reportf(c.Pos(),
+						"//pmwcas:%s has no reason; state why the contract holds after “—”, like a suppression",
+						name)
+				}
+			}
+		}
+	}
 }

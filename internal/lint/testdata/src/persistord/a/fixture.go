@@ -1,0 +1,72 @@
+// Upstream fixture for the persistord analyzer: a linked structure whose
+// descend path uses (*core.Handle).ReadTraverse under //pmwcas:traversal.
+// persistord must attach PersistState to the traversal helpers (and
+// Flusher to FlushWord) for the importing fixture packages, and catch the
+// two in-package seeded bugs: an elided read outside any annotated
+// traversal, and a store derived from a traversal read.
+package a
+
+import (
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// List owns a chain of singly linked words in persistent memory.
+type List struct {
+	Dev  *nvram.Device
+	H    *core.Handle
+	Root nvram.Offset
+}
+
+// Next returns the link word at off without the flush-before-read.
+// Exports PersistState[0]: the value may be absent from the persisted
+// image and callers must not make it durable without flushing.
+//
+//pmwcas:traversal — link values navigate only; publication goes through descriptors or staged init
+func (l *List) Next(off nvram.Offset) uint64 {
+	return l.H.ReadTraverse(off)
+}
+
+// Find walks the chain comparing and following elided values — the
+// navigation-only contract the annotation promises. Legal.
+//
+//pmwcas:traversal — observed links are compared and followed, never stored
+func (l *List) Find(key uint64) nvram.Offset {
+	off := l.Root
+	for off != 0 {
+		v := l.H.ReadTraverse(off)
+		if v == key {
+			return off
+		}
+		off = nvram.Offset(v)
+	}
+	return 0
+}
+
+// FlushWord persists the line holding off; exports Flusher, so callers
+// that stage-initialise through it satisfy rule 3.
+func (l *List) FlushWord(off nvram.Offset) {
+	l.Dev.Flush(off)
+}
+
+// BadNakedTraverse elides the flush outside any annotated traversal:
+// nothing marks this function's reads as navigation-only (rule 1).
+func (l *List) BadNakedTraverse(off nvram.Offset) uint64 {
+	return l.H.ReadTraverse(off) // want `ReadTraverse outside a //pmwcas:traversal function`
+}
+
+// BadStoreOffTraversal claims the traversal contract and then breaks it:
+// the observed link is written back raw, so a crash could expose durable
+// state referencing a value that was never persisted (rule 2).
+//
+//pmwcas:traversal — claims navigation-only; the store below violates the claim
+func (l *List) BadStoreOffTraversal(off, dst nvram.Offset) {
+	v := l.H.ReadTraverse(off)
+	l.Dev.Store(dst, v) // want `store of a value observed through an elided traversal read`
+}
+
+// ReadChecked reads through the full protocol; no fact, callers may
+// store the result freely.
+func (l *List) ReadChecked(off nvram.Offset) uint64 {
+	return l.H.Read(off)
+}

@@ -1,0 +1,87 @@
+// Midstream fixture for the persistord analyzer: imports the upstream
+// traversal helpers, publishes their values with and without the staged
+// flush+fence (one package hop), and re-exports the taint through a
+// struct so a third package can violate across two hops.
+package b
+
+import (
+	"fixtures/persistord/a"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/nvram"
+)
+
+// BadPublish is the seeded unflushed-publish: the traversal value
+// becomes durable payload with no flush+fence anywhere after it.
+func BadPublish(l *a.List, off, dst nvram.Offset) {
+	v := l.Next(off)
+	l.Dev.Store(dst, v) // want `publishing the possibly-unpersisted value returned by .*Next .fact PersistState. with no later Flush\+Fence`
+}
+
+// BadCASPublish: a traversal value as the CAS replacement is just as
+// durable as a Store.
+func BadCASPublish(l *a.List, off, dst nvram.Offset, old uint64) bool {
+	v := l.Next(off)
+	return l.Dev.CAS(dst, old, v) // want `publishing the possibly-unpersisted value returned by .*Next`
+}
+
+// BadFenceBeforeFlush: a fence that precedes the flush orders nothing;
+// the obligation needs flush *then* fence after the store.
+func BadFenceBeforeFlush(l *a.List, off, dst nvram.Offset) {
+	v := l.Next(off)
+	l.Dev.Fence()
+	l.Dev.Store(dst, v) // want `publishing the possibly-unpersisted value returned by .*Next`
+	l.Dev.Flush(dst)
+}
+
+// GoodStagedInit: store, flush the destination, fence — the value is
+// durable before anything can publish a reference to it.
+func GoodStagedInit(l *a.List, off, dst nvram.Offset) {
+	v := l.Next(off)
+	l.Dev.Store(dst, v)
+	l.Dev.Flush(dst)
+	l.Dev.Fence()
+}
+
+// GoodStagedInitViaFlusher: the flush arrives through a helper carrying
+// the Flusher fact; the fence stays local.
+func GoodStagedInitViaFlusher(l *a.List, off, dst nvram.Offset) {
+	v := l.Next(off)
+	l.Dev.Store(dst, v)
+	l.FlushWord(dst)
+	l.Dev.Fence()
+}
+
+// GoodDescriptorInstall: descriptor targets are exempt — the PMwCAS
+// install loop re-reads every target word and persists it if dirty
+// before the descriptor can commit.
+func GoodDescriptorInstall(l *a.List, d *core.Descriptor, off, dst nvram.Offset) error {
+	v := l.Next(off)
+	return d.AddWord(dst, v, v+1)
+}
+
+// GoodCASExpectation: the expected-old argument is a comparison, not a
+// publication; validating against a traversal value is the idiom.
+func GoodCASExpectation(l *a.List, off, dst nvram.Offset, repl uint64) bool {
+	v := l.Next(off)
+	return l.Dev.CAS(dst, v, repl)
+}
+
+// GoodCheckedRead: values from the flushing read path carry no fact.
+func GoodCheckedRead(l *a.List, off, dst nvram.Offset) {
+	v := l.ReadChecked(off)
+	l.Dev.Store(dst, v)
+}
+
+// Cursor re-exports a traversal value through a struct field.
+type Cursor struct {
+	Val uint64
+}
+
+// Forward fills a Cursor from the traversal read; composite taint makes
+// the whole struct tainted, so Forward exports PersistState[0].
+func Forward(l *a.List, off nvram.Offset) Cursor {
+	var c Cursor
+	c.Val = l.Next(off)
+	return c
+}

@@ -1,0 +1,34 @@
+// Downstream fixture for the persistord analyzer: the traversal value
+// arrives two package hops away, through a struct field, and is still
+// caught when published raw.
+package c
+
+import (
+	"fixtures/persistord/a"
+	"fixtures/persistord/b"
+
+	"pmwcas/internal/nvram"
+)
+
+// BadTwoHop: a.Next -> b.Forward -> here; the field read off the tainted
+// Cursor still carries PersistState.
+func BadTwoHop(l *a.List, off, dst nvram.Offset) {
+	cur := b.Forward(l, off)
+	l.Dev.Store(dst, cur.Val) // want `publishing the possibly-unpersisted value returned by .*Forward .fact PersistState.`
+}
+
+// GoodTwoHopStaged: the same flow, cleared by staged initialisation.
+func GoodTwoHopStaged(l *a.List, off, dst nvram.Offset) {
+	cur := b.Forward(l, off)
+	l.Dev.Store(dst, cur.Val)
+	l.Dev.Flush(dst)
+	l.Dev.Fence()
+}
+
+// GoodSuppressed: a deliberate, reviewed exception is silenced the same
+// way as every other checker in the suite.
+func GoodSuppressed(l *a.List, off, dst nvram.Offset) {
+	cur := b.Forward(l, off)
+	//lint:allow persistord — recovery re-derives this word before any reader trusts it
+	l.Dev.Store(dst, cur.Val)
+}

@@ -51,3 +51,30 @@ func (b *box) reasonless(expect uint64) bool {
 	v := b.dev.Load(b.word) &^ core.FlagsMask
 	return v == expect
 }
+
+// goodAnnotation: known contract name, in a function's doc comment, with
+// a stated reason — the audit stays silent.
+//
+//pmwcas:traversal — fixture body performs no protocol reads at all
+func goodAnnotation() {}
+
+// typoedAnnotation: "traverse" is not a contract the suite acts on; the
+// misspelling would silently disable enforcement.
+//
+// want+2 `//pmwcas: annotation names unknown contract "traverse"`
+//
+//pmwcas:traverse — meant traversal, so nothing enforces this
+func typoedAnnotation() {}
+
+// reasonlessAnnotation: annotations are reviewed exceptions too and must
+// say why the contract holds.
+//
+// want+2 `//pmwcas:traversal has no reason`
+//
+//pmwcas:traversal
+func reasonlessAnnotation() {}
+
+// want+1 `//pmwcas:requires-guard is not part of a function's doc comment`
+//pmwcas:requires-guard — floats between declarations and attaches to nothing
+
+var _ = goodAnnotation

@@ -91,6 +91,12 @@ type Device struct {
 	crashed atomic.Bool
 
 	hook atomic.Pointer[Hook]
+
+	// shadow is the psan persistency sanitizer's state: per-line persist
+	// epochs plus per-goroutine dirty-read origins and derived stores.
+	// Without the psan build tag it is an empty struct and every shadow
+	// hook below compiles to nothing (see psan.go / psan_off.go).
+	shadow shadowState
 }
 
 // Hook observes every mutating device operation (stores, CASes, flushes)
@@ -169,6 +175,7 @@ func New(size uint64, opts ...Option) *Device {
 	for _, o := range opts {
 		o(d)
 	}
+	d.shadowInit()
 	return d
 }
 
@@ -194,6 +201,25 @@ func (d *Device) index(off Offset) uint64 {
 func (d *Device) Load(off Offset) uint64 {
 	d.maybeYield()
 	d.stats.loads.Add(1)
+	i := d.index(off)
+	v := atomic.LoadUint64(&d.words[i])
+	d.shadowLoad(i, v)
+	return v
+}
+
+// LoadHint atomically reads the word at off without informing the psan
+// shadow tracker. It exists for one contract only: words that hold
+// re-derivable copies of values durably published elsewhere (the
+// hashtable's directory hints, rebuilt from the bucket tree on every
+// walk). Reading such a copy off an unflushed line and re-storing the
+// value is crash-safe — the original publication's persist ordering is
+// checked at its own site — but the sanitizer's line-epoch model cannot
+// see the aliasing and would flag it. The pmwcaslint rawload analyzer
+// polices call sites the same way it polices Load, so every use needs a
+// reviewed suppression naming this contract.
+func (d *Device) LoadHint(off Offset) uint64 {
+	d.maybeYield()
+	d.stats.loads.Add(1)
 	return atomic.LoadUint64(&d.words[d.index(off)])
 }
 
@@ -214,6 +240,7 @@ func (d *Device) Store(off Offset, val uint64) {
 	i := d.index(off)
 	atomic.StoreUint64(&d.words[i], val)
 	atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+	d.shadowStore(i, val)
 	d.maybeEvict()
 }
 
@@ -228,6 +255,7 @@ func (d *Device) CAS(off Offset, old, new uint64) bool {
 	ok := atomic.CompareAndSwapUint64(&d.words[i], old, new)
 	if ok {
 		atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+		d.shadowStore(i, new)
 		d.maybeEvict()
 	}
 	return ok
@@ -256,6 +284,7 @@ func (d *Device) flushLine(line uint64) {
 	for i := base; i < base+LineWords; i++ {
 		atomic.StoreUint64(&d.persisted[i], atomic.LoadUint64(&d.words[i]))
 	}
+	d.shadowFlushLine(line)
 }
 
 // Fence orders preceding flushes before subsequent stores (SFENCE). In the
@@ -264,6 +293,7 @@ func (d *Device) flushLine(line uint64) {
 // implementation would.
 func (d *Device) Fence() {
 	d.stats.fences.Add(1)
+	d.shadowFence()
 }
 
 // maybeEvict opportunistically persists one random line, if eviction is
@@ -296,6 +326,7 @@ func (d *Device) Crash() {
 	for i := range d.dirty {
 		atomic.StoreUint32(&d.dirty[i], 0)
 	}
+	d.shadowCrash()
 }
 
 // Crashed reports whether the device has ever experienced a Crash.
@@ -327,6 +358,8 @@ func (d *Device) CloneCrashed() *Device {
 		c.persisted[i] = v
 	}
 	c.crashed.Store(true)
+	c.shadowInit()
+	d.shadowClone(c)
 	return c
 }
 

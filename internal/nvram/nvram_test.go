@@ -375,3 +375,117 @@ func BenchmarkFlush(b *testing.B) {
 		d.Flush(off)
 	}
 }
+
+// TestPersistedLoadUnderEviction: with opportunistic eviction racing the
+// writer, every persisted word must still be a value that was actually
+// stored there (or zero) — eviction persists whole lines atomically with
+// respect to word stores, never torn or invented values.
+func TestPersistedLoadUnderEviction(t *testing.T) {
+	d := New(1024, WithEviction(1), WithEvictionSeed(42))
+	written := make(map[Offset]map[uint64]bool)
+	for i := 0; i < 500; i++ {
+		off := Offset((i % 128) * 8)
+		val := uint64(i + 1)
+		if written[off] == nil {
+			written[off] = map[uint64]bool{0: true}
+		}
+		written[off][val] = true
+		d.Store(off, val)
+	}
+	for off, vals := range written {
+		if got := d.PersistedLoad(off); !vals[got] {
+			t.Fatalf("PersistedLoad(%#x) = %d, never stored there", off, got)
+		}
+	}
+	// A clean device agrees with itself: flush everything and the two
+	// images must converge word for word.
+	d.FlushAll()
+	if n := d.DirtyLines(); n != 0 {
+		t.Fatalf("DirtyLines after FlushAll = %d", n)
+	}
+	for off := range written {
+		if p, w := d.PersistedLoad(off), d.Load(off); p != w {
+			t.Fatalf("images diverge at %#x after FlushAll: persisted %d, working %d", off, p, w)
+		}
+	}
+}
+
+// TestDirtyLinesUnderEviction: eviction may only ever shrink the dirty
+// set mid-stream, and DirtyLines must agree with per-word image equality.
+func TestDirtyLinesUnderEviction(t *testing.T) {
+	d := New(1024, WithEviction(2), WithEvictionSeed(7))
+	for i := 0; i < 300; i++ {
+		d.Store(Offset((i%128)*8), uint64(i+1))
+		if n := d.DirtyLines(); n > 16 {
+			t.Fatalf("DirtyLines = %d exceeds line count", n)
+		}
+	}
+	// Every line not reported dirty must have identical images.
+	dirty := make(map[uint64]bool)
+	for line := uint64(0); line < 16; line++ {
+		equal := true
+		for w := Offset(line * LineBytes); w < Offset((line+1)*LineBytes); w += 8 {
+			if d.PersistedLoad(w) != d.Load(w) {
+				equal = false
+			}
+		}
+		if !equal {
+			dirty[line] = true
+		}
+	}
+	if n := d.DirtyLines(); n < len(dirty) {
+		t.Fatalf("DirtyLines = %d but %d lines have diverged images", n, len(dirty))
+	}
+}
+
+// TestResetStatsInterleaving: ResetStats clears counters only — the two
+// images, the dirty set, and subsequent accounting are unaffected.
+func TestResetStatsInterleaving(t *testing.T) {
+	d := New(4096)
+	d.Store(0, 11)
+	d.Store(64, 22)
+	d.Flush(0)
+
+	d.ResetStats()
+	if s := d.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", s)
+	}
+	if got := d.PersistedLoad(0); got != 11 {
+		t.Fatalf("ResetStats disturbed persisted image: %d", got)
+	}
+	if n := d.DirtyLines(); n != 1 {
+		t.Fatalf("ResetStats disturbed dirty set: %d lines", n)
+	}
+
+	// Post-reset accounting starts from zero and counts only new work.
+	d.Flush(64)
+	d.Fence()
+	s := d.Stats()
+	if s.Flushes != 1 || s.Fences != 1 || s.Stores != 0 {
+		t.Fatalf("post-reset stats wrong: %+v", s)
+	}
+	if got := d.PersistedLoad(64); got != 22 {
+		t.Fatalf("flush after reset lost data: %d", got)
+	}
+
+	// Same invariants with eviction racing the interleave.
+	e := New(1024, WithEviction(1), WithEvictionSeed(3))
+	for i := 0; i < 100; i++ {
+		e.Store(Offset((i%16)*8), uint64(i+1))
+		if i%10 == 0 {
+			e.ResetStats()
+		}
+	}
+	// Each slot was stored i, i+16, i+32, ... — the persisted value must
+	// be zero or one of those, never a value from another slot.
+	for slot := Offset(0); slot < 16; slot++ {
+		p := e.PersistedLoad(slot * 8)
+		if p != 0 && (p-1)%16 != uint64(slot) {
+			t.Fatalf("slot %d persisted %d, which was never stored there", slot, p)
+		}
+	}
+	e.FlushAll()
+	if n := e.DirtyLines(); n != 0 {
+		t.Fatalf("DirtyLines after FlushAll = %d", n)
+	}
+}

@@ -318,7 +318,14 @@ type findResult struct {
 // the head — deletion unlinks atomically, so marked links are only ever
 // seen from nodes the traversal was already holding.
 //
+// Link reads elide the dirty-bit flush (DESIGN.md §6.2): the values are
+// only compared, followed, or handed to AddWord as expected-old operands,
+// which the PMwCAS install path re-persists at the target before
+// acquiring it. Writers that copy successors into new node links flush
+// the node and fence before publishing.
+//
 //pmwcas:requires-guard — walks links into nodes the epoch may reclaim
+//pmwcas:traversal — link values navigate only; publishes go through AddWord
 func (h *Handle) find(key uint64) findResult {
 	l := h.list
 restart:
@@ -326,7 +333,7 @@ restart:
 	pred := l.head
 	for i := MaxHeight - 1; i >= 0; i-- {
 		for {
-			next := h.read(pred + linkOff(i, false))
+			next := h.core.ReadTraverse(pred + linkOff(i, false))
 			if next&DeletedMask != 0 {
 				goto restart
 			}
