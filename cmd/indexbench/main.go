@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pmwcas"
@@ -38,7 +40,9 @@ func main() {
 	flushNS := flag.Int("flushns", 0, "simulated CLWB latency in ns")
 	reverse := flag.Bool("reverse", false, "run the reverse-scan comparison (E8)")
 	matrix := flag.Bool("matrix", false, "run the cross-index matrix (all indexes x workloads x distributions)")
-	jsonPath := flag.String("json", "", "with -matrix: also write results as JSON to this file")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded hash matrix")
+	yieldEvery := flag.Int("yieldevery", 0, "with -shards: yield the processor every n device accesses (emulates fine-grained interleaving on few-core hosts)")
+	jsonPath := flag.String("json", "", "with -matrix or -shards: also write results as JSON to this file")
 	flag.Parse()
 
 	mix, ok := map[string]harness.Mix{
@@ -76,8 +80,17 @@ func main() {
 		runMatrix(w, flush, *jsonPath)
 		return
 	}
+	if *shardsFlag != "" {
+		counts, err := parseShards(*shardsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexbench:", err)
+			os.Exit(2)
+		}
+		runShardMatrix(w, flush, counts, *yieldEvery, *jsonPath)
+		return
+	}
 	if *jsonPath != "" {
-		fmt.Fprintln(os.Stderr, "indexbench: -json requires -matrix")
+		fmt.Fprintln(os.Stderr, "indexbench: -json requires -matrix or -shards")
 		os.Exit(2)
 	}
 	if *reverse {
@@ -328,6 +341,174 @@ func matrixFactory(s *pmwcas.Store, ix string) harness.IndexFactory {
 		return &harness.HashTableFactory{Table: must(s.HashTable(pmwcas.HashTableOptions{})), Label: "hash"}
 	}
 	panic("indexbench: unreachable index " + ix)
+}
+
+// parseShards parses the -shards list.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// shardCell is one measured (shards, workload, distribution) point —
+// the JSON record format of BENCH_shardmatrix.json.
+type shardCell struct {
+	Shards       int     `json:"shards"`
+	Workload     string  `json:"workload"`
+	Dist         string  `json:"dist"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+}
+
+type shardDoc struct {
+	Bench        string      `json:"bench"`
+	Threads      int         `json:"threads"`
+	OpsPerThread int         `json:"ops_per_thread"`
+	KeySpace     uint64      `json:"key_space"`
+	FlushNS      int64       `json:"flush_ns"`
+	YieldEvery   int         `json:"yield_every"`
+	Results      []shardCell `json:"results"`
+}
+
+// shardStoreFor builds a persistent store with n shards and the same
+// total resource budget regardless of n: the device size and descriptor
+// total are fixed, so every run gets identical memory and descriptor
+// capacity, just partitioned differently.
+func shardStoreFor(n int, flush time.Duration, yieldEvery int) *pmwcas.Store {
+	descriptors := 4096 / n
+	if descriptors < 256 {
+		descriptors = 256
+	}
+	s, err := pmwcas.Create(pmwcas.Config{
+		Size:         256 << 20,
+		Mode:         pmwcas.Persistent,
+		Shards:       n,
+		Descriptors:  descriptors,
+		MaxHandles:   64,
+		FlushLatency: flush,
+		YieldEvery:   yieldEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexbench:", err)
+		os.Exit(1)
+	}
+	return s
+}
+
+// shardedHashFactory routes keys across per-shard hash tables with
+// Store.ShardForKey — the same placement the server's sharded backend
+// uses, measured without the network in the way.
+type shardedHashFactory struct {
+	store *pmwcas.Store
+	tabs  []*pmwcas.HashTable
+	label string
+}
+
+func newShardedHashFactory(s *pmwcas.Store, label string) *shardedHashFactory {
+	f := &shardedHashFactory{store: s, label: label}
+	for i := 0; i < s.ShardCount(); i++ {
+		f.tabs = append(f.tabs, must(s.Shard(i).HashTable(pmwcas.HashTableOptions{})))
+	}
+	return f
+}
+
+func (f *shardedHashFactory) Name() string { return f.label }
+
+func (f *shardedHashFactory) NewOps(seed int64) harness.IndexOps {
+	o := &shardedHashOps{store: f.store}
+	for _, t := range f.tabs {
+		o.hs = append(o.hs, t.NewHandle())
+	}
+	return o
+}
+
+type shardedHashOps struct {
+	store *pmwcas.Store
+	hs    []*pmwcas.HashTableHandle
+}
+
+func (o *shardedHashOps) h(key uint64) *pmwcas.HashTableHandle {
+	return o.hs[o.store.ShardForKey(key)]
+}
+
+func (o *shardedHashOps) Insert(k, v uint64) error     { return o.h(k).Insert(k, v) }
+func (o *shardedHashOps) Get(k uint64) (uint64, error) { return o.h(k).Get(k) }
+func (o *shardedHashOps) Update(k, v uint64) error     { return o.h(k).Update(k, v) }
+func (o *shardedHashOps) Delete(k uint64) error        { return o.h(k).Delete(k) }
+func (o *shardedHashOps) Scan(from, to uint64, fn func(uint64, uint64) bool) error {
+	return pmwcas.ErrHashUnordered
+}
+
+// runShardMatrix measures the shard-per-core engine: the hash index
+// across shard counts, workload shapes, and key distributions, with the
+// total device/descriptor budget held constant so the only variable is
+// how the store is partitioned.
+func runShardMatrix(w harness.Workload, flush time.Duration, counts []int, yieldEvery int, jsonPath string) {
+	shapes := []struct {
+		name    string
+		mix     harness.Mix
+		preload bool
+	}{
+		{"load", harness.Mix{Inserts: 100}, false},
+		{"read", harness.ReadHeavy, true},
+		{"mixed", harness.UpdateHeavy, true},
+	}
+	dists := []harness.Distribution{harness.Uniform, harness.Zipf}
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("Shard matrix — persistent hash index, %d threads, %d keys", w.Threads, w.KeySpace),
+		"shards", "workload", "dist", "ops/s", "flushes/op")
+	doc := shardDoc{
+		Bench:        "shardmatrix",
+		Threads:      w.Threads,
+		OpsPerThread: w.OpsPer,
+		KeySpace:     w.KeySpace,
+		FlushNS:      flush.Nanoseconds(),
+		YieldEvery:   yieldEvery,
+	}
+	for _, n := range counts {
+		for _, shape := range shapes {
+			for _, d := range dists {
+				cw := w
+				cw.Mix = shape.mix
+				cw.Dist = d
+				if !shape.preload {
+					cw.Preload = 0
+				}
+				s := shardStoreFor(n, flush, yieldEvery)
+				f := newShardedHashFactory(s, fmt.Sprintf("hash/%dshard", n))
+				r := must(harness.Run(f, cw,
+					func() uint64 { return s.Device().Stats().Flushes }))
+				doc.Results = append(doc.Results, shardCell{
+					Shards: n, Workload: shape.name, Dist: d.String(),
+					OpsPerSec: r.OpsPerSec, FlushesPerOp: r.FlushesPer,
+				})
+				tbl.Add(fmt.Sprint(n), shape.name, d.String(),
+					harness.Throughput(r.OpsPerSec), r.FlushesPer)
+			}
+		}
+	}
+	tbl.Print(os.Stdout)
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "indexbench:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "indexbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 }
 
 // runReverse measures E8: reverse scans on the doubly-linked list vs the

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	pmwcas-server [-addr :7171] [-file store.img] [-index skiplist|bwtree|hash]
-//	              [-mode persistent|volatile] [-size mib] [-maxconns n]
+//	              [-mode persistent|volatile] [-size mib] [-shards n] [-maxconns n]
 //
 // Stop with SIGINT/SIGTERM: the server drains in-flight requests, closes
 // the store, and (with -file, persistent mode) checkpoints.
@@ -35,8 +35,9 @@ func main() {
 	index := flag.String("index", "skiplist", "storage backend: skiplist (blob values), bwtree, or hash (word values; no SCAN)")
 	mode := flag.String("mode", "persistent", "persistence mode: persistent or volatile")
 	sizeMiB := flag.Uint64("size", 256, "store size in MiB")
+	shards := flag.Int("shards", 1, "independent store shards; keys are hash-partitioned, SCAN merges shards in key order")
 	maxConns := flag.Int("maxconns", 64, "concurrent connection cap (also the store-handle pool size)")
-	descriptors := flag.Int("descriptors", 4096, "PMwCAS descriptor pool size")
+	descriptors := flag.Int("descriptors", 4096, "PMwCAS descriptor pool size (per shard)")
 	readTimeout := flag.Duration("readtimeout", 0, "per-connection idle timeout (0 = none)")
 	drainGrace := flag.Duration("draingrace", 250*time.Millisecond, "shutdown drain window per connection")
 	flag.Parse()
@@ -45,10 +46,12 @@ func main() {
 
 	cfg := pmwcas.Config{
 		Size:        *sizeMiB << 20,
+		Shards:      *shards,
 		Descriptors: *descriptors,
 		// The skip-list backend spends 4 store handles per connection
-		// (blobkv handle budgeting); the slack covers the open/recovery
-		// handles each layer takes at startup.
+		// (blobkv handle budgeting; on a sharded store each connection
+		// holds a sub-backend on every shard); the slack covers the
+		// open/recovery handles each layer takes at startup.
 		MaxHandles: 4*(*maxConns) + 8,
 	}
 	switch *mode {

@@ -101,6 +101,10 @@ type Result struct {
 	Points int
 	// Checked counts the crash images actually recovered and audited.
 	Checked int
+	// MidRecoveryChecked counts the additional images taken *between*
+	// shard recoveries (multi-shard workloads only) that were recovered
+	// from scratch and audited.
+	MidRecoveryChecked int
 	// Violations holds every finding, pinned for reproduction.
 	Violations []Violation
 }
@@ -143,10 +147,11 @@ func Run(opt Options) (*Result, error) {
 		}
 		res.Points += s.step
 		res.Checked += s.checked
+		res.MidRecoveryChecked += s.midChecked
 		res.Violations = append(res.Violations, s.violations...)
 		if opt.Logf != nil {
-			opt.Logf("%s: %d crash points, %d checked, %d violations",
-				name, s.step, s.checked, len(s.violations))
+			opt.Logf("%s: %d crash points, %d checked (%d re-crashed mid-recovery), %d violations",
+				name, s.step, s.checked, s.midChecked, len(s.violations))
 		}
 	}
 	return res, nil
@@ -165,11 +170,16 @@ type sweeper struct {
 	mu         sync.Mutex
 	step       int
 	checked    int
+	midChecked int // recoveries re-crashed between shard recoveries
 	violations []Violation
 }
 
 func sweepWorkload(opt Options, w workload) (*sweeper, error) {
 	cfg := storeConfig(opt)
+	if w.shards > 1 {
+		cfg.Shards = w.shards
+		cfg.Size *= uint64(w.shards) // keep the per-shard budget constant
+	}
 	st, err := pmwcas.Create(cfg)
 	if err != nil {
 		return nil, err
@@ -254,8 +264,25 @@ func (s *sweeper) hook(_ string, _ nvram.Offset) {
 // check recovers a crashed image and audits it: reopen (allocator +
 // PMwCAS recovery), verify structural invariants across every layer, and
 // match the extracted logical contents against the oracle snapshot.
+//
+// On a multi-shard store, recovery runs shard by shard, which opens a
+// crash window no single-shard sweep can reach: power failing again
+// after shard i recovered but before shard i+1 did. The recovery hook
+// captures the persisted image at each such boundary, and every captured
+// image is recovered from scratch and held to the same oracle — partial
+// recovery must itself be a recoverable state.
 func (s *sweeper) check(clone *nvram.Device, sn snap) error {
-	cs, err := pmwcas.OpenDevice(clone, s.cfg)
+	cfg := s.cfg
+	var mids []*nvram.Device
+	if cfg.Shards > 1 {
+		last := cfg.Shards - 1
+		cfg.RecoveryHook = func(shard int) {
+			if shard < last {
+				mids = append(mids, clone.CloneCrashed())
+			}
+		}
+	}
+	cs, err := pmwcas.OpenDevice(clone, cfg)
 	if err != nil {
 		return fmt.Errorf("reopening crashed image: %w", err)
 	}
@@ -263,5 +290,24 @@ func (s *sweeper) check(clone *nvram.Device, sn snap) error {
 	if err != nil {
 		return err
 	}
-	return sn.match(ds)
+	if err := sn.match(ds); err != nil {
+		return err
+	}
+	for i, mid := range mids {
+		ms, err := pmwcas.OpenDevice(mid, s.cfg)
+		if err != nil {
+			return fmt.Errorf("re-crash between shard %d and %d recoveries: reopen: %w", i, i+1, err)
+		}
+		mds, err := ms.CheckInvariants(s.w.copts)
+		if err == nil {
+			err = sn.match(mds)
+		}
+		if err != nil {
+			return fmt.Errorf("re-crash between shard %d and %d recoveries: %w", i, i+1, err)
+		}
+		s.mu.Lock()
+		s.midChecked++
+		s.mu.Unlock()
+	}
+	return nil
 }

@@ -58,6 +58,23 @@ func TestSweepShort(t *testing.T) {
 	}
 }
 
+// TestSweepMultiShard is the bounded multi-shard sweep: the hash mix
+// routed across a two-shard store, every crash point recovered and — the
+// part no single-shard sweep reaches — re-crashed between the two shard
+// recoveries and recovered again from scratch.
+func TestSweepMultiShard(t *testing.T) {
+	ops := 30
+	if testing.Short() {
+		ops = 10
+	}
+	res := sweep(t, Options{Ops: ops, Seed: 1}, "sharded")
+	if res.MidRecoveryChecked == 0 {
+		t.Fatal("no crash image was re-crashed between shard recoveries (the inter-shard window went untested)")
+	}
+	t.Logf("%d crash points, %d checked, %d re-crashed mid-recovery",
+		res.Points, res.Checked, res.MidRecoveryChecked)
+}
+
 // TestSweepServer pushes the trace through the TCP front-end, so crash
 // points fire on the server's connection goroutine.
 func TestSweepServer(t *testing.T) {

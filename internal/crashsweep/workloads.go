@@ -23,6 +23,7 @@ import (
 // to its oracle.
 type workload struct {
 	name      string
+	shards    int // store shards the workload runs over (0 = 1)
 	copts     pmwcas.CheckOptions
 	newOracle func() oracle
 	run       func(st *pmwcas.Store, o oracle, opt Options) error
@@ -60,6 +61,12 @@ var workloads = []workload{
 		copts:     pmwcas.CheckOptions{Blob: true},
 		newOracle: func() oracle { return newBlobOracle() },
 		run:       runServer,
+	},
+	{
+		name:      "sharded",
+		shards:    2,
+		newOracle: func() oracle { return newKVOracle(targetHash) },
+		run:       runSharded,
 	},
 }
 
@@ -208,6 +215,66 @@ func runHashTable(st *pmwcas.Store, o oracle, opt Options) error {
 		key := uint64(rng.Intn(96)) + 1
 		switch rng.Intn(6) {
 		case 0, 1, 2, 3: // upsert-heavy, to fill buckets and trigger splits
+			val := uint64(rng.Intn(1<<20)) + 1
+			kv.begin(kvOp{kvPut, key, val})
+			err := h.Insert(key, val)
+			if errors.Is(err, hashtable.ErrKeyExists) {
+				err = h.Update(key, val)
+			}
+			kv.commit(err == nil)
+			if err != nil {
+				return fmt.Errorf("put %#x: %w", key, err)
+			}
+		case 4:
+			kv.begin(kvOp{kvDelete, key, 0})
+			err := h.Delete(key)
+			if errors.Is(err, hashtable.ErrNotFound) {
+				kv.commit(false)
+			} else if err != nil {
+				kv.commit(false)
+				return fmt.Errorf("delete %#x: %w", key, err)
+			} else {
+				kv.commit(true)
+			}
+		case 5:
+			got, err := h.Get(key)
+			want, ok := kv.expect(key)
+			if errors.Is(err, hashtable.ErrNotFound) {
+				if ok {
+					return fmt.Errorf("get %#x: not found, model has %#x", key, want)
+				}
+			} else if err != nil {
+				return fmt.Errorf("get %#x: %w", key, err)
+			} else if !ok || got != want {
+				return fmt.Errorf("get %#x = %#x, model has %#x (present %v)", key, got, want, ok)
+			}
+		}
+	}
+	return nil
+}
+
+// runSharded drives the hash mix of runHashTable across a two-shard
+// store, routing each key to its home shard exactly as the server does.
+// Beyond the per-shard crash points (each shard's splits, doublings, and
+// reclaims now interleave in one device trace), the sweeper's check adds
+// the cross-shard ones: every clone is additionally crashed *between*
+// shard recoveries and re-recovered from scratch.
+func runSharded(st *pmwcas.Store, o oracle, opt Options) error {
+	kv := o.(*kvOracle)
+	handles := make([]*pmwcas.HashTableHandle, st.ShardCount())
+	for si := range handles {
+		tab, err := st.Shard(si).HashTable(pmwcas.HashTableOptions{SlotsPerBucket: 4})
+		if err != nil {
+			return err
+		}
+		handles[si] = tab.NewHandle()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < opt.Ops; i++ {
+		key := uint64(rng.Intn(96)) + 1
+		h := handles[st.ShardForKey(key)]
+		switch rng.Intn(6) {
+		case 0, 1, 2, 3:
 			val := uint64(rng.Intn(1<<20)) + 1
 			kv.begin(kvOp{kvPut, key, val})
 			err := h.Insert(key, val)

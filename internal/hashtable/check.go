@@ -17,12 +17,34 @@ import (
 	"pmwcas/internal/nvram"
 )
 
+// CheckStats summarizes the structure Check walked, so callers
+// (Store.Stats, the reclaim tests) can observe interior-bucket overhead
+// without re-walking the image.
+type CheckStats struct {
+	Buckets      int // arena blocks the table owns (live + sealed)
+	Live         int // unsealed buckets holding the table's contents
+	Sealed       int // sealed interior buckets not yet reclaimed
+	SeveredEdges int // tombstoned edge words left by reclamation
+}
+
 // Check audits the durable image of a (recovered, quiescent) hash table
 // anchored at roots with the directory at dir. It returns every arena
 // block the table reaches — live buckets, sealed interior buckets, and a
 // staged-but-unpublished first bucket — plus the table's logical
-// contents, so callers can cross-check the allocator bitmap and a
-// durable-linearizability oracle.
+// contents and structure counts, so callers can cross-check the
+// allocator bitmap and a durable-linearizability oracle.
+//
+// Since sealed-bucket reclamation (reclaim.go) the buckets form a
+// *forest*, not a single tree: reclaiming a tree's root tombstones its
+// children's parent words with reclaimedPtr, orphaning them into roots
+// of their own subtrees. Only roots are ever reclaimed, so tombstones
+// appear exclusively in parent words — every standing bucket's child
+// pointers name standing buckets, which is precisely what keeps the
+// whole forest reachable from the directory. Every invariant is checked
+// per tree, with each tree's hash-suffix class anchored by "seeds" — the
+// directory entries that name its buckets and the keys stored in them,
+// both of which pin an absolute class. A tree with no seeds has no
+// routable content, so it has no class constraints to violate.
 //
 // Invariants verified:
 //
@@ -31,21 +53,26 @@ import (
 //   - the durable slot geometry is sane and every live directory entry
 //     names a bucket whose class covers the entry's whole suffix class
 //     (local depth <= global depth);
-//   - the buckets form a rooted binary radix tree: exactly one depth-0
-//     root, child depth = parent depth + 1, parent words invert child
-//     words, sealed buckets have both children and live buckets none;
+//   - the buckets form a binary radix forest: at most one parentless
+//     root (depth 0), every orphan root (parent tombstoned) at depth
+//     >= 1, child depth = parent depth + 1, parent/child words invert
+//     each other, sealed buckets have both children and live buckets
+//     none, and no child word is ever a tombstone (roots-only reclaim);
+//   - all class seeds within a tree agree: every key sits in the bucket
+//     its hash suffix routes to and every directory entry's index suffix
+//     matches the class of the bucket it names;
 //   - no reachable word carries a descriptor flag (recovery removes every
 //     descriptor pointer);
-//   - every key sits in the bucket its hash suffix routes to, appears in
-//     exactly one live bucket, and pairs a clean value (free slots are
-//     fully zero).
-func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry, error) {
+//   - every key appears in exactly one live bucket and pairs a clean
+//     value (free slots of live buckets are fully zero).
+func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry, CheckStats, error) {
 	depthWord := roots.Base
 	stagedWord := roots.Base + nvram.WordSize
 	geomWord := roots.Base + 2*nvram.WordSize
 
 	load := func(off nvram.Offset) uint64 { return dev.Load(off) &^ core.DirtyFlag }
 
+	var stats CheckStats
 	dw := load(depthWord)
 	sv := load(stagedWord)
 	if dw == 0 {
@@ -53,9 +80,9 @@ func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry,
 		// staged first bucket, reachable through the staging word; first
 		// initialization releases and retries it on the next open.
 		if sv != 0 {
-			return []nvram.Offset{nvram.Offset(sv)}, nil, nil
+			return []nvram.Offset{nvram.Offset(sv)}, nil, stats, nil
 		}
-		return nil, nil, nil
+		return nil, nil, stats, nil
 	}
 	gdepth := int(dw) - 1
 	maxDepth := 0
@@ -63,32 +90,40 @@ func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry,
 		maxDepth++
 	}
 	if gdepth > maxDepth {
-		return nil, nil, fmt.Errorf("hashtable: global depth %d exceeds directory capacity %d", gdepth, maxDepth)
+		return nil, nil, stats, fmt.Errorf("hashtable: global depth %d exceeds directory capacity %d", gdepth, maxDepth)
 	}
 	slots := load(geomWord)
 	if slots < 1 || slots > 255 {
-		return nil, nil, fmt.Errorf("hashtable: durable slot geometry %d outside [1,255]", slots)
+		return nil, nil, stats, fmt.Errorf("hashtable: durable slot geometry %d outside [1,255]", slots)
 	}
 	// A nonzero staging word is legal only in the publish window, where it
 	// still aliases dir[0] (the depth word and staging word share one
 	// atomic line, so only eviction of the half-updated line exposes it).
 	if sv != 0 && sv != load(dir.Base) {
-		return nil, nil, fmt.Errorf("hashtable: staging word %#x disagrees with dir[0] %#x", sv, load(dir.Base))
+		return nil, nil, stats, fmt.Errorf("hashtable: staging word %#x disagrees with dir[0] %#x", sv, load(dir.Base))
 	}
 
 	// Collect every bucket the directory reaches, walking child pointers
 	// down and parent pointers up: directory repair can swing entries past
 	// sealed ancestors, so ancestors are only reachable through parents.
+	// A tombstoned parent word (reclaimedPtr) is not followed — the bucket
+	// behind it was freed, and the bucket holding it is a forest root.
 	type bucketInfo struct {
 		meta, parent uint64
 		c0, c1       nvram.Offset
+		// forest bookkeeping, filled in by the DFS below
+		root nvram.Offset // root of this bucket's tree
+		rel  uint64       // class bits above the root's depth
 	}
 	buckets := make(map[nvram.Offset]*bucketInfo)
 	var pending []nvram.Offset
 	for j := nvram.Offset(0); j < 1<<uint(gdepth); j++ {
 		e := load(dir.Base + j*nvram.WordSize)
 		if e == 0 {
-			return nil, nil, fmt.Errorf("hashtable: zero directory entry %d at global depth %d", j, gdepth)
+			return nil, nil, stats, fmt.Errorf("hashtable: zero directory entry %d at global depth %d", j, gdepth)
+		}
+		if e == reclaimedPtr {
+			return nil, nil, stats, fmt.Errorf("hashtable: directory entry %d holds the reclaim tombstone", j)
 		}
 		pending = append(pending, nvram.Offset(e))
 	}
@@ -107,103 +142,135 @@ func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry,
 		}
 		rawMeta := dev.Load(b + bucketMetaOff)
 		if rawMeta&(core.MwCASFlag|core.RDCSSFlag) != 0 {
-			return nil, nil, fmt.Errorf("hashtable: meta of bucket %#x holds descriptor flags: %#x", b, rawMeta)
+			return nil, nil, stats, fmt.Errorf("hashtable: meta of bucket %#x holds descriptor flags: %#x", b, rawMeta)
 		}
 		info := &bucketInfo{meta: rawMeta &^ core.DirtyFlag}
 		var err error
 		if info.c0, err = loadPtr(b+bucketChild0Off, "child0", b); err != nil {
-			return nil, nil, err
+			return nil, nil, stats, err
 		}
 		if info.c1, err = loadPtr(b+bucketChild1Off, "child1", b); err != nil {
-			return nil, nil, err
+			return nil, nil, stats, err
 		}
 		if p, err := loadPtr(b+bucketParentOff, "parent", b); err != nil {
-			return nil, nil, err
+			return nil, nil, stats, err
 		} else {
 			info.parent = uint64(p)
 		}
 		buckets[b] = info
-		if info.c0 != 0 {
-			pending = append(pending, info.c0)
+		for _, c := range [2]nvram.Offset{info.c0, info.c1} {
+			if c == reclaimedPtr {
+				return nil, nil, stats, fmt.Errorf("hashtable: child word of bucket %#x holds the reclaim tombstone", b)
+			}
+			if c != 0 {
+				pending = append(pending, c)
+			}
 		}
-		if info.c1 != 0 {
-			pending = append(pending, info.c1)
-		}
-		if info.parent != 0 {
+		if info.parent == reclaimedPtr {
+			stats.SeveredEdges++
+		} else if info.parent != 0 {
 			pending = append(pending, nvram.Offset(info.parent))
 		}
 	}
 
-	// The buckets must form one radix tree: a unique depth-0 root with a
-	// zero parent word, every other bucket one level below its parent.
-	root := nvram.Offset(0)
+	// Forest roots: at most one bucket whose parent word was never set
+	// (the original depth-0 bucket), plus any number of orphans whose
+	// parent was reclaimed (necessarily depth >= 1 — only a split's child
+	// ever gets a tombstone).
+	var dfsRoots []nvram.Offset
+	parentless := nvram.Offset(0)
 	for b, info := range buckets {
-		if info.parent == 0 {
-			if root != 0 {
-				return nil, nil, fmt.Errorf("hashtable: two parentless buckets %#x and %#x", root, b)
+		switch info.parent {
+		case 0:
+			if parentless != 0 {
+				return nil, nil, stats, fmt.Errorf("hashtable: two parentless buckets %#x and %#x", parentless, b)
 			}
-			root = b
+			if d := metaDepth(info.meta); d != 0 {
+				return nil, nil, stats, fmt.Errorf("hashtable: parentless bucket %#x has depth %d, want 0", b, d)
+			}
+			parentless = b
+			dfsRoots = append(dfsRoots, b)
+		case reclaimedPtr:
+			if d := metaDepth(info.meta); d < 1 {
+				return nil, nil, stats, fmt.Errorf("hashtable: orphan bucket %#x has depth %d, want >= 1", b, d)
+			}
+			dfsRoots = append(dfsRoots, b)
 		}
 	}
-	if root == 0 {
-		return nil, nil, fmt.Errorf("hashtable: no root bucket (parent cycle)")
-	}
-	if d := metaDepth(buckets[root].meta); d != 0 {
-		return nil, nil, fmt.Errorf("hashtable: root bucket %#x has depth %d, want 0", root, d)
+	if len(dfsRoots) == 0 && len(buckets) > 0 {
+		return nil, nil, stats, fmt.Errorf("hashtable: no root bucket (parent cycle)")
 	}
 
-	// DFS from the root assigning each bucket its hash-suffix class,
-	// verifying tree shape and slot contents as it goes.
+	// DFS each tree, assigning every bucket its class bits relative to its
+	// root and verifying tree shape and slot contents as it goes.
 	type visit struct {
-		b     nvram.Offset
-		class uint64
+		b    nvram.Offset
+		root nvram.Offset
+		rel  uint64
 	}
 	liveKeys := make(map[uint64]nvram.Offset)
 	var entries []Entry
-	classes := make(map[nvram.Offset]uint64)
+	// A seed pins an absolute suffix class on one bucket: class has
+	// depth(b) significant bits.
+	type seed struct {
+		b     nvram.Offset
+		class uint64
+		what  string
+	}
+	var seeds []seed
 	visited := make(map[nvram.Offset]bool)
-	stack := []visit{{root, 0}}
+	var stack []visit
+	for _, r := range dfsRoots {
+		stack = append(stack, visit{r, r, 0})
+	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if visited[v.b] {
-			return nil, nil, fmt.Errorf("hashtable: bucket %#x reached twice (not a tree)", v.b)
+			return nil, nil, stats, fmt.Errorf("hashtable: bucket %#x reached twice (not a forest)", v.b)
 		}
 		visited[v.b] = true
-		classes[v.b] = v.class
 		info := buckets[v.b]
+		info.root, info.rel = v.root, v.rel
 		depth := metaDepth(info.meta)
 		if depth > maxBucketDepth {
-			return nil, nil, fmt.Errorf("hashtable: bucket %#x depth %d exceeds max %d", v.b, depth, maxBucketDepth)
+			return nil, nil, stats, fmt.Errorf("hashtable: bucket %#x depth %d exceeds max %d", v.b, depth, maxBucketDepth)
 		}
 		sealed := metaSealed(info.meta)
+		// A sealed bucket's child words were written by its split and are
+		// never tombstoned (only roots are reclaimed, and reclaiming a
+		// root touches its children's parent words). A live bucket has
+		// neither child.
 		if sealed != (info.c0 != 0) || sealed != (info.c1 != 0) {
-			return nil, nil, fmt.Errorf("hashtable: bucket %#x sealed=%v but children (%#x, %#x)", v.b, sealed, info.c0, info.c1)
+			return nil, nil, stats, fmt.Errorf("hashtable: bucket %#x sealed=%v but children (%#x, %#x)", v.b, sealed, info.c0, info.c1)
+		}
+		if sealed {
+			stats.Sealed++
+		} else {
+			stats.Live++
 		}
 		for i := 0; i < int(slots); i++ {
 			key := load(slotKeyOff(v.b, i))
 			val := dev.Load(slotValOff(v.b, i))
 			if key&(core.MwCASFlag|core.RDCSSFlag) != 0 || val&(core.MwCASFlag|core.RDCSSFlag) != 0 {
-				return nil, nil, fmt.Errorf("hashtable: slot %d of bucket %#x holds descriptor flags: (%#x, %#x)", i, v.b, key, val)
+				return nil, nil, stats, fmt.Errorf("hashtable: slot %d of bucket %#x holds descriptor flags: (%#x, %#x)", i, v.b, key, val)
 			}
 			val &^= core.DirtyFlag
 			if key == 0 {
 				// Sealed buckets keep their pre-split contents verbatim, so
 				// only live buckets promise zero values behind zero keys.
 				if val != 0 && !sealed {
-					return nil, nil, fmt.Errorf("hashtable: free slot %d of bucket %#x has value %#x", i, v.b, val)
+					return nil, nil, stats, fmt.Errorf("hashtable: free slot %d of bucket %#x has value %#x", i, v.b, val)
 				}
 				continue
 			}
 			if key >= MaxKey {
-				return nil, nil, fmt.Errorf("hashtable: key %#x in bucket %#x out of range", key, v.b)
+				return nil, nil, stats, fmt.Errorf("hashtable: key %#x in bucket %#x out of range", key, v.b)
 			}
-			if got := mix64(key) & ((1 << uint(depth)) - 1); got != v.class {
-				return nil, nil, fmt.Errorf("hashtable: key %#x in bucket %#x routes to class %#x, bucket covers %#x at depth %d", key, v.b, got, v.class, depth)
-			}
+			seeds = append(seeds, seed{v.b, mix64(key) & (1<<uint(depth) - 1), fmt.Sprintf("key %#x", key)})
 			if !sealed {
 				if prev, dup := liveKeys[key]; dup {
-					return nil, nil, fmt.Errorf("hashtable: key %#x live in buckets %#x and %#x", key, prev, v.b)
+					return nil, nil, stats, fmt.Errorf("hashtable: key %#x live in buckets %#x and %#x", key, prev, v.b)
 				}
 				liveKeys[key] = v.b
 				entries = append(entries, Entry{Key: key, Value: val})
@@ -215,38 +282,63 @@ func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry,
 		for bit, c := range []nvram.Offset{info.c0, info.c1} {
 			ci, ok := buckets[c]
 			if !ok {
-				return nil, nil, fmt.Errorf("hashtable: child %#x of bucket %#x not collected", c, v.b)
+				return nil, nil, stats, fmt.Errorf("hashtable: child %#x of bucket %#x not collected", c, v.b)
 			}
 			if nvram.Offset(ci.parent) != v.b {
-				return nil, nil, fmt.Errorf("hashtable: child %#x parent word %#x, want %#x", c, ci.parent, v.b)
+				return nil, nil, stats, fmt.Errorf("hashtable: child %#x parent word %#x, want %#x", c, ci.parent, v.b)
 			}
 			if cd := metaDepth(ci.meta); cd != depth+1 {
-				return nil, nil, fmt.Errorf("hashtable: child %#x depth %d under parent depth %d", c, cd, depth)
+				return nil, nil, stats, fmt.Errorf("hashtable: child %#x depth %d under parent depth %d", c, cd, depth)
 			}
-			stack = append(stack, visit{c, v.class | uint64(bit)<<uint(depth)})
+			stack = append(stack, visit{c, v.root, v.rel | uint64(bit)<<uint(depth)})
 		}
 	}
 	for b := range buckets {
 		if !visited[b] {
-			return nil, nil, fmt.Errorf("hashtable: bucket %#x not reachable from root %#x", b, root)
+			return nil, nil, stats, fmt.Errorf("hashtable: bucket %#x not reachable from any root", b)
 		}
 	}
+	stats.Buckets = len(buckets)
 
 	// Every live directory entry must name a collected bucket whose class
 	// is the entry index's own suffix — the hint property all routing and
-	// repair correctness rests on.
+	// repair correctness rests on. The entry is recorded as a seed; the
+	// agreement pass below turns it into the class check.
 	for j := nvram.Offset(0); j < 1<<uint(gdepth); j++ {
 		e := nvram.Offset(load(dir.Base + j*nvram.WordSize))
 		info, ok := buckets[e]
 		if !ok {
-			return nil, nil, fmt.Errorf("hashtable: directory entry %d names unknown bucket %#x", j, e)
+			return nil, nil, stats, fmt.Errorf("hashtable: directory entry %d names unknown bucket %#x", j, e)
 		}
 		depth := metaDepth(info.meta)
 		if depth > gdepth {
-			return nil, nil, fmt.Errorf("hashtable: directory entry %d names bucket %#x with depth %d > global %d", j, e, depth, gdepth)
+			return nil, nil, stats, fmt.Errorf("hashtable: directory entry %d names bucket %#x with depth %d > global %d", j, e, depth, gdepth)
 		}
-		if want := uint64(j) & ((1 << uint(depth)) - 1); classes[e] != want {
-			return nil, nil, fmt.Errorf("hashtable: directory entry %d names bucket %#x of class %#x, want %#x", j, e, classes[e], want)
+		seeds = append(seeds, seed{e, uint64(j) & (1<<uint(depth) - 1), fmt.Sprintf("directory entry %d", j)})
+	}
+
+	// Seed agreement: within a tree, every seed must pin the same root
+	// class. A seed on bucket b (class C, depth(b) bits) decomposes as
+	// C = rootClass | rel(b): its high bits must reproduce the DFS path
+	// and its low rootDepth bits are a root-class candidate all seeds of
+	// the tree share. Trees without seeds are unconstrained — they hold
+	// no keys and no directory entry routes to them.
+	rootClass := make(map[nvram.Offset]uint64)
+	rootWitness := make(map[nvram.Offset]string)
+	for _, s := range seeds {
+		info := buckets[s.b]
+		rd := metaDepth(buckets[info.root].meta)
+		if s.class>>uint(rd) != info.rel>>uint(rd) {
+			return nil, nil, stats, fmt.Errorf("hashtable: %s pins bucket %#x to class %#x, path from root %#x gives %#x",
+				s.what, s.b, s.class, info.root, info.rel)
+		}
+		rc := s.class & (1<<uint(rd) - 1)
+		if prev, ok := rootClass[info.root]; !ok {
+			rootClass[info.root] = rc
+			rootWitness[info.root] = s.what
+		} else if prev != rc {
+			return nil, nil, stats, fmt.Errorf("hashtable: %s pins root %#x to class %#x, but %s pinned %#x",
+				s.what, info.root, rc, rootWitness[info.root], prev)
 		}
 	}
 
@@ -254,5 +346,5 @@ func Check(dev *nvram.Device, roots, dir nvram.Region) ([]nvram.Offset, []Entry,
 	for b := range buckets {
 		blocks = append(blocks, b)
 	}
-	return blocks, entries, nil
+	return blocks, entries, stats, nil
 }

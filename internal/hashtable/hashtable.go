@@ -55,7 +55,12 @@
 // historical value of it still reaches the live bucket through the
 // tree). Sealed buckets are never freed — they are interior nodes of the
 // radix tree, at most one per live bucket — which is what makes the
-// repair CASes unordered and crash-ignorable.
+// repair CASes unordered and crash-ignorable. Sealed buckets whose
+// routing work is fully delegated to their children are later freed by
+// the reclamation protocol in reclaim.go: durably scrub the bucket's
+// directory class past it, then one PMwCAS that unlinks it from the
+// tree and frees it crash-atomically — so the radix tree's interior
+// does not grow without bound (one leaked bucket per split otherwise).
 //
 // Doubling G → G+1 first copies dir[i] into dir[i + 2^G] for the whole
 // live half (plain stores: the upper half is dead until the flip, and
@@ -68,6 +73,7 @@ package hashtable
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
@@ -137,8 +143,9 @@ func mix64(x uint64) uint64 {
 // so creation publishes atomically.
 const RootWords = 3
 
-// MinDescriptorWords is the descriptor capacity the table requires (the
-// widest op is a split or an insert: three words).
+// MinDescriptorWords is the descriptor capacity the table requires; the
+// widest ops are a split (two child installs + seal) and a sealed-bucket
+// reclaim (directory entry + two child parent words), both three words.
 const MinDescriptorWords = 3
 
 // DefaultSlotsPerBucket makes a bucket exactly four cache lines
@@ -182,7 +189,40 @@ type Table struct {
 	dirBase   nvram.Offset
 	maxDepth  int // log2(directory slots)
 	slots     int // slot pairs per bucket
+
+	// growClaim serializes the two structure-growth/shrink paths that
+	// cannot overlap: directory doubling (plain-store copy of the live
+	// half) and sealed-bucket reclamation (which needs the scrubbed
+	// directory class to stay scrubbed until its PMwCAS commits). Both
+	// are accelerators — losing the claim just skips the attempt.
+	growClaim atomic.Bool
+
+	splits    atomic.Uint64
+	doublings atomic.Uint64
+	reclaims  atomic.Uint64
 }
+
+// TableStats counts structural events since the table was opened
+// (volatile; recovery resets them).
+type TableStats struct {
+	Splits    uint64 // bucket splits committed
+	Doublings uint64 // directory doublings committed
+	Reclaims  uint64 // sealed buckets reclaimed and freed
+}
+
+// Stats snapshots the table's structural counters.
+func (t *Table) Stats() TableStats {
+	return TableStats{
+		Splits:    t.splits.Load(),
+		Doublings: t.doublings.Load(),
+		Reclaims:  t.reclaims.Load(),
+	}
+}
+
+// Mix64 is the table's key hash (splitmix64 finalizer), exported so the
+// store can shard on the high bits of the same full-avalanche mix whose
+// low bits route the directory — uncorrelated by construction.
+func Mix64(key uint64) uint64 { return mix64(key) }
 
 // Config wires a Table to its substrates.
 type Config struct {
@@ -339,18 +379,21 @@ func (t *Table) wordRead(addr nvram.Offset) uint64 {
 // charge every point op with hint-directory flushes the elision
 // experiments (EXPERIMENTS.md E11) deliberately exclude — double-counted
 // against the same Stats.Flushes the sanitizer run is validating.
-// Masking is sound here because anchor and directory words are
-// single-word PCAS targets, never MwCAS'd: the only reserved bit they
-// carry is DirtyFlag, so the masked value is the true word, merely not
-// yet persisted — and every path out of locate re-validates through a
+// Only DirtyFlag is masked: a dirty hint is the true word, merely not
+// yet persisted, and every path out of locate re-validates through a
 // flushing read or a descriptor install before publishing anything.
+// MwCASFlag/RDCSSFlag must NOT be masked — directory words are targets
+// of the sealed-bucket reclaim PMwCAS, and masking a descriptor pointer
+// would forge a bucket offset. Flagged values pass through verbatim in
+// every mode so Handle.dirRead can detect them and fall back to the full
+// protocol read.
 func (t *Table) wordReadHint(addr nvram.Offset) uint64 {
 	if t.pool.Mode() == core.Persistent && !nvram.SanitizerEnabled {
 		return core.PCASRead(t.dev, addr)
 	}
 	if t.pool.Mode() == core.Persistent {
-		//lint:allow rawload — psan hint read: directory and anchor words are re-derivable copies of durably published words (LoadHint contract); the masked value is a hint every caller re-validates (§4.2)
-		return t.dev.LoadHint(addr) &^ core.FlagsMask
+		//lint:allow rawload — psan hint read: directory and anchor words are re-derivable copies of durably published words (LoadHint contract); the dirty-masked value is a hint every caller re-validates (§4.2)
+		return t.dev.LoadHint(addr) &^ core.DirtyFlag
 	}
 	//lint:allow rawload — volatile mode publishes anchor and directory words with plain CAS; there is no dirty bit to observe (§4.2)
 	return t.dev.Load(addr)

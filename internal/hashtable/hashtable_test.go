@@ -15,7 +15,7 @@ import (
 
 const (
 	htDescs    = 128
-	htWords    = 3
+	htWords    = MinDescriptorWords
 	htHandles  = 16
 	htDirSlots = 16 // maxDepth 4: deep chains are reachable in tests
 )
@@ -34,6 +34,13 @@ type htEnv struct {
 }
 
 func newHTEnv(t testing.TB, mode core.Mode, slots int) *htEnv {
+	return newHTEnvDir(t, mode, slots, htDirSlots)
+}
+
+// newHTEnvDir builds an env with a chosen directory size: the reclaim
+// tests need a directory deep enough that sealed buckets sit below the
+// global depth (only those are reclaimable).
+func newHTEnvDir(t testing.TB, mode core.Mode, slots int, dirSlots uint64) *htEnv {
 	t.Helper()
 	e := &htEnv{
 		spec: []alloc.Class{
@@ -45,12 +52,12 @@ func newHTEnv(t testing.TB, mode core.Mode, slots int) *htEnv {
 	}
 	poolBytes := core.PoolSize(htDescs, htWords)
 	aBytes := alloc.MetaSize(e.spec, htHandles)
-	e.dev = nvram.New(poolBytes + aBytes + 1<<13)
+	e.dev = nvram.New(poolBytes + aBytes + dirSlots*nvram.WordSize + 1<<13)
 	l := nvram.NewLayout(e.dev)
 	e.poolReg = l.Carve(poolBytes)
 	e.aReg = l.Carve(aBytes)
 	e.roots = l.Carve(nvram.LineBytes)
-	e.dir = l.Carve(htDirSlots * nvram.WordSize)
+	e.dir = l.Carve(dirSlots * nvram.WordSize)
 	e.build(t, mode, false)
 	return e
 }
@@ -97,7 +104,7 @@ func (e *htEnv) reopen(t testing.TB) {
 // check runs the structural checker and returns the live contents.
 func (e *htEnv) check(t testing.TB) map[uint64]uint64 {
 	t.Helper()
-	_, entries, err := Check(e.dev, e.roots, e.dir)
+	_, entries, _, err := Check(e.dev, e.roots, e.dir)
 	if err != nil {
 		t.Fatalf("Check: %v", err)
 	}
@@ -466,7 +473,7 @@ func TestCheckDetectsCorruption(t *testing.T) {
 		if !planted {
 			t.Skip("no deep live bucket with a filled slot to corrupt")
 		}
-		if _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
+		if _, _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
 			t.Fatal("wrong-class key passed the checker")
 		}
 	})
@@ -504,7 +511,7 @@ func TestCheckDetectsCorruption(t *testing.T) {
 		if !done {
 			t.Skip("no bucket with both a live key and a free slot")
 		}
-		if _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
+		if _, _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
 			t.Fatal("duplicate key passed the checker")
 		}
 	})
@@ -513,7 +520,7 @@ func TestCheckDetectsCorruption(t *testing.T) {
 		e := build(t)
 		b := nvram.Offset(e.rawLoad(e.dir.Base))
 		e.dev.Store(b+bucketMetaOff, e.rawLoad(b+bucketMetaOff)|core.MwCASFlag)
-		if _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
+		if _, _, _, err := Check(e.dev, e.roots, e.dir); err == nil {
 			t.Fatal("descriptor flag passed the checker")
 		}
 	})

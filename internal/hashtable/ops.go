@@ -7,12 +7,48 @@ import (
 	"pmwcas/internal/nvram"
 )
 
+// dirRead and dirReadHint read a directory entry, sanitizing the one
+// kind of value the single-word read family cannot: a descriptor
+// pointer. Directory words are multi-word targets — the sealed-bucket
+// reclaim PMwCAS (reclaim.go phase 3) installs its descriptor in the
+// planted entry, and a straggler helper of an already-decided reclaim
+// can transiently re-install one in any formerly-planted entry, even
+// while the caller holds growClaim. The PCAS family understands only
+// the dirty bit and would hand such a pointer back verbatim, to be
+// dereferenced as a bucket offset. Any flagged value is therefore
+// re-read through the full protocol read, which helps the operation to
+// completion and returns the plain entry.
+//
+// dirRead is the exact variant (wordRead underneath: the current value,
+// flush-before-read) for protocol decisions — the doubling copy, the
+// reclaim scrub/plant, sweeps and iteration. dirReadHint is the hint
+// variant (wordReadHint underneath) for locate's navigation, where the
+// psan build deliberately reads an unflushed hint copy.
+//
+//pmwcas:requires-guard — the fallback read may help a reclaim descriptor the epoch protects
+func (h *Handle) dirRead(off nvram.Offset) uint64 {
+	v := h.t.wordRead(off)
+	if v&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+		return h.core.Read(off)
+	}
+	return v
+}
+
+//pmwcas:requires-guard — the fallback read may help a reclaim descriptor the epoch protects
+func (h *Handle) dirReadHint(off nvram.Offset) uint64 {
+	v := h.t.wordReadHint(off)
+	if v&(core.MwCASFlag|core.RDCSSFlag) != 0 {
+		return h.core.Read(off)
+	}
+	return v
+}
+
 //pmwcas:requires-guard — walks directory hints and bucket chain words the epoch may hand to late readers
 func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	t := h.t
 	g := int(t.wordReadHint(t.depthWord)) - 1
 	dirOff := t.dirBase + (hash&((1<<uint(g))-1))*nvram.WordSize
-	first := t.wordReadHint(dirOff)
+	first := h.dirReadHint(dirOff)
 	if first == 0 {
 		panic("hashtable: zero directory entry — image corrupt")
 	}
@@ -22,11 +58,14 @@ func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	for metaSealed(meta) {
 		// An observed seal implies both children were installed by the
 		// same PMwCAS; the depth in the sealed meta selects the hash bit.
+		// Child words are never tombstoned — only forest roots are
+		// reclaimed, and b stands under our guard, so b is not a root's
+		// already-freed ancestor — which is why this walk needs no retry.
 		bit := (hash >> uint(metaDepth(meta))) & 1
 		if bit == 0 {
-			b = h.core.Read(b + bucketChild0Off)
+			b = nvram.Offset(h.core.Read(b + bucketChild0Off))
 		} else {
-			b = h.core.Read(b + bucketChild1Off)
+			b = nvram.Offset(h.core.Read(b + bucketChild1Off))
 		}
 		meta = h.core.Read(b + bucketMetaOff)
 		if metaDepth(meta) <= g {
@@ -40,7 +79,7 @@ func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 		// a deeper bucket covers only a subset of the entry's class and
 		// would misroute its other keys. Losing the race just leaves a
 		// longer hint chain for the next walker.
-		t.wordCAS(dirOff, first, target)
+		t.wordCAS(dirOff, uint64(first), uint64(target))
 	}
 	if metaDepth(meta) > g && g < t.maxDepth {
 		h.tryDouble(g)
@@ -55,13 +94,22 @@ func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 //pmwcas:requires-guard — re-reads directory hints that concurrent repairs retarget
 func (h *Handle) tryDouble(g int) {
 	t := h.t
+	if !t.growClaim.CompareAndSwap(false, true) {
+		// A doubling or a sealed-bucket reclaim holds the claim. Doubling
+		// is purely an accelerator, so skipping is always safe; the
+		// exclusion matters because a doubler's plain-store copy of the
+		// live half could republish an entry a concurrent reclaim just
+		// durably scrubbed, resurrecting a pointer to a freed bucket.
+		return
+	}
+	defer t.growClaim.Store(false)
 	dw := t.wordRead(t.depthWord)
 	if int(dw)-1 != g {
 		return // raced: someone else already doubled
 	}
 	half := nvram.Offset(1) << uint(g)
 	for i := nvram.Offset(0); i < half; i++ {
-		v := t.wordRead(t.dirBase + i*nvram.WordSize)
+		v := h.dirRead(t.dirBase + i*nvram.WordSize)
 		// Plain store, not PCAS: the upper half is dead until the depth
 		// flip below publishes it, and any historical value of dir[i] is a
 		// valid hint for index i+half (it reaches the live bucket through
@@ -73,7 +121,9 @@ func (h *Handle) tryDouble(g int) {
 	// Persist the mirrored half before the flip: once the new depth is
 	// durable, recovery may route through the upper entries.
 	t.flushRange(t.dirBase+half*nvram.WordSize, uint64(half)*nvram.WordSize)
-	t.wordCASFlush(t.depthWord, dw, dw+1)
+	if t.wordCASFlush(t.depthWord, dw, dw+1) {
+		t.doublings.Add(1)
+	}
 }
 
 // Get returns the value stored under key. The slot scan is seqlock-
@@ -405,6 +455,7 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 	if !ok {
 		return nil // lost the race; children reclaimed by policy
 	}
+	t.splits.Add(1)
 	// Eager directory repair: swing every live entry in b's suffix class
 	// to the matching child. Best-effort — entries this loop misses (or
 	// that a concurrent doubling re-copies stale) are repaired by walkers.
@@ -413,7 +464,7 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 		class := hash & ((1 << uint(depth)) - 1)
 		for j := class; j < (1 << uint(g)); j += 1 << uint(depth) {
 			off := t.dirBase + j*nvram.WordSize
-			if t.wordRead(off) == b {
+			if h.dirRead(off) == uint64(b) {
 				child := b0
 				if (j>>uint(depth))&1 == 1 {
 					child = b1
@@ -422,6 +473,12 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 			}
 		}
 	}
+	// Amortized reclamation: each split creates one interior bucket, so
+	// each split tries to free one — the root of b's tree, the only
+	// sealed bucket currently eligible (roots-only discipline). Best-
+	// effort: a lost claim or a too-shallow directory leaves it for a
+	// later split or an explicit ReclaimSealed sweep.
+	h.reclaimRootOf(b, hash)
 	return nil
 }
 
@@ -442,7 +499,7 @@ func (h *Handle) Range(fn func(key, value uint64) bool) error {
 	seen := make(map[nvram.Offset]bool)
 	var stack []nvram.Offset
 	for j := nvram.Offset(0); j < 1<<uint(gdepth); j++ {
-		b := t.wordRead(t.dirBase + j*nvram.WordSize)
+		b := h.dirRead(t.dirBase + j*nvram.WordSize)
 		if b == 0 {
 			panic("hashtable: zero directory entry — image corrupt")
 		}

@@ -49,11 +49,48 @@ var errNotFound = errors.New("server: key not found")
 // errValueTooLarge is returned for values the backend cannot hold.
 var errValueTooLarge = errors.New("server: value too large for this index")
 
-// newBackends mints n per-connection backends for the chosen index.
+// indexOpener is the slice of the store (whole store or one shard) a
+// set of backends is built over. *pmwcas.Store and *pmwcas.Shard both
+// satisfy it; the Store methods are shard 0's.
+type indexOpener interface {
+	BlobKV() (*pmwcas.BlobKV, error)
+	BwTree(pmwcas.BwTreeOptions) (*pmwcas.BwTree, error)
+	HashTable(pmwcas.HashTableOptions) (*pmwcas.HashTable, error)
+}
+
+// newBackends mints n per-connection backends for the chosen index. On
+// a multi-shard store each backend is a shardedBackend routing by key
+// over one sub-backend per shard.
 func newBackends(store *pmwcas.Store, index Index, n int) ([]backend, error) {
+	shards := store.ShardCount()
+	if shards == 1 {
+		return newShardBackends(store, index, n)
+	}
+	per := make([][]backend, shards)
+	for si := 0; si < shards; si++ {
+		subs, err := newShardBackends(store.Shard(si), index, n)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+		per[si] = subs
+	}
+	out := make([]backend, n)
+	for i := range out {
+		subs := make([]backend, shards)
+		for si := 0; si < shards; si++ {
+			subs[si] = per[si][i]
+		}
+		out[i] = &shardedBackend{store: store, subs: subs}
+	}
+	return out, nil
+}
+
+// newShardBackends mints n single-shard backends over one slice of the
+// store.
+func newShardBackends(o indexOpener, index Index, n int) ([]backend, error) {
 	switch index {
 	case IndexSkipList:
-		kv, err := store.BlobKV()
+		kv, err := o.BlobKV()
 		if err != nil {
 			return nil, fmt.Errorf("server: open blobkv: %w", err)
 		}
@@ -63,7 +100,7 @@ func newBackends(store *pmwcas.Store, index Index, n int) ([]backend, error) {
 		}
 		return out, nil
 	case IndexBwTree:
-		tree, err := store.BwTree(pmwcas.BwTreeOptions{})
+		tree, err := o.BwTree(pmwcas.BwTreeOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("server: open bwtree: %w", err)
 		}
@@ -73,7 +110,7 @@ func newBackends(store *pmwcas.Store, index Index, n int) ([]backend, error) {
 		}
 		return out, nil
 	case IndexHash:
-		tab, err := store.HashTable(pmwcas.HashTableOptions{})
+		tab, err := o.HashTable(pmwcas.HashTableOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("server: open hashtable: %w", err)
 		}

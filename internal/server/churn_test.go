@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -116,5 +118,86 @@ func TestConnectionChurnNoLeak(t *testing.T) {
 	}
 	if srv.Served() == 0 {
 		t.Fatal("server served nothing")
+	}
+}
+
+// TestShutdownWaitsForRejects pins the rejection-goroutine lifecycle:
+// every BUSY rejection runs a write-then-drain goroutine with deadlines
+// up to a second out, and Shutdown must wait for those exactly like
+// serving connections — an untracked rejection would outlive Shutdown,
+// still holding a connection after the caller believes the server quiet.
+// The regression this pins: reject goroutines were spawned outside s.wg
+// and s.conns, so Shutdown neither waited for them nor cut their drains
+// short.
+func TestShutdownWaitsForRejects(t *testing.T) {
+	srv, _, addr, _ := startServer(t, IndexSkipList, 1)
+
+	// Occupy the single backend so every further dial is rejected.
+	holder := dial(t, addr)
+	if err := holder.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reject storm: raw connections that stay open on the client end, so
+	// each rejection goroutine's courtesy drain (it waits for the client
+	// to close) can only end by deadline — or by Shutdown cutting it off.
+	const storm = 8
+	conns := make([]net.Conn, storm)
+	ping := wire.AppendRequest(nil, &wire.Request{Op: wire.OpPing})
+	for i := range conns {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("storm dial %d: %v", i, err)
+		}
+		defer c.Close()
+		if err := wire.WriteFrame(c, ping); err != nil {
+			t.Fatalf("storm write %d: %v", i, err)
+		}
+		conns[i] = c
+	}
+	// Reading the BUSY frame proves this connection's rejection goroutine
+	// is up and into its drain.
+	for i, c := range conns {
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		body, err := wire.ReadFrame(bufio.NewReader(c), nil)
+		if err != nil {
+			t.Fatalf("storm read %d: %v", i, err)
+		}
+		resp, err := wire.DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("storm decode %d: %v", i, err)
+		}
+		if resp.Status != wire.StatusBusy {
+			t.Fatalf("storm conn %d got status %v, want BUSY", i, resp.Status)
+		}
+	}
+	if got := srv.Rejected(); got < storm {
+		t.Fatalf("Rejected() = %d, want >= %d", got, storm)
+	}
+
+	holder.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Shutdown has returned, so every rejection goroutine must be gone and
+	// must have closed its connection: client-side writes have to start
+	// failing immediately, not after the drains' leftover deadlines.
+	returned := time.Now()
+	for i, c := range conns {
+		var err error
+		for err == nil && time.Since(returned) < 2*time.Second {
+			if _, err = c.Write([]byte("x")); err == nil {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		if err == nil {
+			t.Fatalf("storm conn %d still open 2s after Shutdown returned", i)
+		}
+		if late := time.Since(returned); late > 400*time.Millisecond {
+			t.Fatalf("storm conn %d closed %v after Shutdown returned — its rejection outlived the drain", i, late)
+		}
 	}
 }

@@ -166,18 +166,44 @@ func (s *Server) Rejected() uint64 { return s.rejected.Load() }
 // buffer, and closing over them turns into an RST that discards the BUSY
 // frame before the client can read it. Draining until the client closes
 // (bounded by a deadline) lets the rejection actually arrive.
+//
+// The goroutine is registered exactly like a serving connection — in
+// s.wg and s.conns — so Shutdown waits for in-flight rejections and its
+// force-close path can cut their up-to-two-second drains short. An
+// untracked rejection would outlive Shutdown and write to a store the
+// caller may already be closing.
 func (s *Server) reject(conn net.Conn, why string) {
 	s.rejected.Add(1)
+	s.mu.Lock()
+	if s.closed.Load() {
+		// Shutdown already ran (or is running) its drain: it may have
+		// passed wg.Wait and the conns poke, so neither would cover this
+		// goroutine. The client gets a plain close instead of a BUSY frame.
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.wg.Add(1)
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
 	go func() {
+		defer func() {
+			_ = conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			s.wg.Done()
+		}()
 		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 		body := wire.AppendResponse(nil, &wire.Response{Status: wire.StatusBusy, Msg: why})
 		_ = wire.WriteFrame(conn, body)
-		if tc, ok := conn.(*net.TCPConn); ok {
+		if tc, ok := conn.(*net.TCPConn); ok && !s.closed.Load() {
+			// Skip the courtesy drain during shutdown; the deadline pokes
+			// from Shutdown only help if they are not overwritten here.
 			_ = tc.CloseWrite()
 			_ = conn.SetReadDeadline(time.Now().Add(time.Second))
 			_, _ = io.Copy(io.Discard, conn)
 		}
-		_ = conn.Close()
 	}()
 }
 
@@ -383,6 +409,11 @@ func FormatStats(st pmwcas.StoreStats) string {
 	add("alloc_bytes_in_use", st.AllocBytes)
 	add("alloc_blocks_cap", st.AllocCapBlocks)
 	add("alloc_bytes_cap", st.AllocCapBytes)
+	add("shards", uint64(st.Shards))
+	add("hash_splits", st.HashSplits)
+	add("hash_doublings", st.HashDoublings)
+	add("hash_reclaims", st.HashReclaims)
+	add("hash_sealed_buckets", st.HashSealedBuckets)
 	add("device_loads", st.Device.Loads)
 	add("device_stores", st.Device.Stores)
 	add("device_flushes", st.Device.Flushes)

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+
+	"pmwcas"
+	"pmwcas/internal/keycodec"
+)
+
+// shardedBackend fans one connection's operations out across a
+// multi-shard store. Point operations route to the key's home shard —
+// the same placement Store.ShardForKey gives everyone, so all
+// connections agree where a key lives. SCAN merges the shards' ordered
+// streams back into one global key order, batch-pulling from each shard
+// so a large range never materializes in memory.
+//
+// Each connection owns one sub-backend per shard (with its own handles),
+// so the no-shared-handles rule of the backend pool carries through: two
+// connections touching the same shard still never share a handle.
+type shardedBackend struct {
+	store *pmwcas.Store
+	subs  []backend // one per shard, index = shard number
+}
+
+func (s *shardedBackend) sub(key []byte) (backend, error) {
+	k, err := keycodec.Encode(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.subs[s.store.ShardForKey(k)], nil
+}
+
+func (s *shardedBackend) Put(key, val []byte) error {
+	b, err := s.sub(key)
+	if err != nil {
+		return err
+	}
+	return b.Put(key, val)
+}
+
+func (s *shardedBackend) Get(key []byte) ([]byte, error) {
+	b, err := s.sub(key)
+	if err != nil {
+		return nil, err
+	}
+	return b.Get(key)
+}
+
+func (s *shardedBackend) Delete(key []byte) error {
+	b, err := s.sub(key)
+	if err != nil {
+		return err
+	}
+	return b.Delete(key)
+}
+
+// scanBatch is how many entries a shard cursor pulls per refill. Small
+// enough that a limit-1 scan does not drag a big batch off every shard,
+// large enough to amortize the per-batch index descent.
+const scanBatch = 32
+
+// shardCursor is one shard's position in a merged scan: a buffered
+// batch of pending entries and the key to resume from.
+type shardCursor struct {
+	sub  backend
+	buf  []kvPair
+	next []byte // resume key for the following batch
+	done bool   // the shard has no entries past buf
+}
+
+type kvPair struct{ k, v []byte }
+
+// refill pulls the cursor's next batch if its buffer is empty. The
+// underlying Scan's callback may reuse its argument slices, so entries
+// are copied out.
+func (c *shardCursor) refill(end []byte) error {
+	if c.done || len(c.buf) > 0 {
+		return nil
+	}
+	got := 0
+	var last []byte
+	err := c.sub.Scan(c.next, end, scanBatch, func(k, v []byte) bool {
+		kk := append([]byte(nil), k...)
+		c.buf = append(c.buf, kvPair{kk, append([]byte(nil), v...)})
+		last = kk
+		got++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if got < scanBatch {
+		// The shard had fewer than a full batch left in [next, end].
+		c.done = true
+		return nil
+	}
+	nk, ok := successorKey(last)
+	if !ok {
+		c.done = true // last was the top of the keyspace
+		return nil
+	}
+	c.next = nk
+	return nil
+}
+
+// Scan merges the shards' individually-ordered streams into global key
+// order: repeatedly emit the smallest head among the shard cursors,
+// refilling each cursor's batch as it drains. Each emitted entry is
+// durable on its home shard at emission time, so the merged stream is
+// exactly as consistent as a single-shard scan under concurrent writers:
+// an ordered snapshot-free walk.
+func (s *shardedBackend) Scan(from, end []byte, limit int, fn func(key, val []byte) bool) error {
+	cursors := make([]*shardCursor, len(s.subs))
+	for i, sub := range s.subs {
+		cursors[i] = &shardCursor{sub: sub, next: append([]byte(nil), from...)}
+	}
+	emitted := 0
+	for emitted < limit {
+		// Refill any drained cursor, then pick the smallest head. Keys are
+		// unique across shards (each lives only on its home shard), so ties
+		// are impossible and the pick order is total.
+		min := -1
+		for i, c := range cursors {
+			if err := c.refill(end); err != nil {
+				return err
+			}
+			if len(c.buf) == 0 {
+				continue
+			}
+			if min < 0 || bytes.Compare(c.buf[0].k, cursors[min].buf[0].k) < 0 {
+				min = i
+			}
+		}
+		if min < 0 {
+			return nil // every shard exhausted
+		}
+		head := cursors[min].buf[0]
+		cursors[min].buf = cursors[min].buf[1:]
+		emitted++
+		if !fn(head.k, head.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// successorKey returns the smallest key strictly greater than k in the
+// bounded keyspace (keys up to keycodec.MaxLen bytes, byte order). The
+// second result is false when k is the keyspace's maximum.
+func successorKey(k []byte) ([]byte, bool) {
+	if len(k) < keycodec.MaxLen {
+		// Room to grow: k followed by the smallest byte.
+		return append(append([]byte(nil), k...), 0x00), true
+	}
+	// Maximum length: increment, dropping trailing 0xff bytes. The result
+	// is shorter than k yet strictly greater, with nothing in between.
+	s := append([]byte(nil), k...)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] != 0xff {
+			s[i]++
+			return s[:i+1], true
+		}
+	}
+	return nil, false
+}

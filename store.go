@@ -3,6 +3,7 @@ package pmwcas
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"pmwcas/internal/alloc"
@@ -16,31 +17,40 @@ import (
 )
 
 // Config sizes a Store. The zero value is a usable default: a 64 MiB
-// persistent store with general-purpose size classes.
+// persistent single-shard store with general-purpose size classes.
 type Config struct {
-	// Size is the simulated NVRAM capacity in bytes (default 64 MiB).
-	// Layout is derived deterministically from this Config, so reopening
-	// a device (or snapshot) requires the same Config.
+	// Size is the simulated NVRAM capacity in bytes (default 64 MiB),
+	// shared evenly by all shards. Layout is derived deterministically
+	// from this Config, so reopening a device (or snapshot) requires the
+	// same Config.
 	Size uint64
 	// Mode selects Persistent (default) or Volatile.
 	Mode Mode
-	// Descriptors is the PMwCAS pool capacity (default 1024).
+	// Shards partitions the store into independent engines (default 1),
+	// each owning its own slice of the device: descriptor pool, allocator
+	// arena, epoch manager, root line, and index regions. Shards never
+	// share mutable state, so operations on different shards contend on
+	// nothing — the shard-per-core layout of ROADMAP item 1. Keys are
+	// placed by ShardForKey; all capacity knobs below are per shard.
+	Shards int
+	// Descriptors is each shard's PMwCAS pool capacity (default 1024).
 	Descriptors int
 	// WordsPerDescriptor is each descriptor's capacity (default: what the
 	// skip list needs, 3+MaxHeight).
 	WordsPerDescriptor int
-	// MaxHandles bounds concurrent allocator handles (default 64).
+	// MaxHandles bounds concurrent allocator handles per shard
+	// (default 64).
 	MaxHandles int
-	// Classes overrides the allocator size classes. The default covers
-	// skip list nodes, Bw-tree deltas, and Bw-tree pages.
+	// Classes overrides each shard's allocator size classes. The default
+	// covers skip list nodes, Bw-tree deltas, and Bw-tree pages.
 	Classes []SizeClass
-	// BwTreeMappingSlots sizes the Bw-tree mapping table (default 1<<16
-	// LPIDs). Only consumed when BwTree is opened.
+	// BwTreeMappingSlots sizes each shard's Bw-tree mapping table
+	// (default 1<<16 LPIDs). Only consumed when BwTree is opened.
 	BwTreeMappingSlots uint64
-	// HashDirSlots sizes the hash table directory (default 1<<12 bucket
-	// pointers; must be a power of two). The directory caps fan-out, not
-	// capacity — deeper buckets are reached through the bucket tree. Only
-	// consumed when HashTable is opened.
+	// HashDirSlots sizes each shard's hash table directory (default 1<<12
+	// bucket pointers; must be a power of two). The directory caps
+	// fan-out, not capacity — deeper buckets are reached through the
+	// bucket tree. Only consumed when HashTable is opened.
 	HashDirSlots uint64
 	// FlushLatency, if set, charges each cache-line write-back this much
 	// simulated time (models NVRAM write cost in benchmarks).
@@ -55,11 +65,27 @@ type Config struct {
 	// accesses so logical threads interleave even on few-core hosts
 	// (benchmarking knob; see nvram.WithYield).
 	YieldEvery int
+	// RecoveryHook, if set, is called after each shard finishes recovery
+	// (OpenDevice, OpenFile, Recover), in shard order. Crash sweeps use it
+	// to capture and perturb the device between shard recoveries; it does
+	// not participate in layout and need not match across reopenings.
+	RecoveryHook func(shard int)
 }
 
-func (c *Config) fill() {
+// fill applies defaults and validates that the fixed regions fit the
+// per-shard budget. It reports configurations that cannot possibly be
+// laid out with an error naming the oversized region, instead of letting
+// a later layout carve panic (or an allocator with clamped classes
+// limp along) obscure which knob was wrong.
+func (c *Config) fill() error {
 	if c.Size == 0 {
 		c.Size = 64 << 20
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("pmwcas: Shards must be positive, got %d", c.Shards)
 	}
 	if c.Descriptors == 0 {
 		c.Descriptors = 1024
@@ -76,16 +102,31 @@ func (c *Config) fill() {
 	if c.HashDirSlots == 0 {
 		c.HashDirSlots = 1 << 12
 	}
+	shardBudget := c.Size / uint64(c.Shards)
+	poolBytes := core.PoolSize(c.Descriptors, c.WordsPerDescriptor)
+	mapBytes := c.BwTreeMappingSlots * nvram.WordSize
+	dirBytes := c.HashDirSlots * nvram.WordSize
+	// The remaining fixed regions (roots, Bw-tree meta, blob staging, hash
+	// anchor) plus bitmap and line-rounding slack.
+	const slack = 64 << 10
+	fixed := poolBytes + mapBytes + dirBytes + slack
+	if fixed >= shardBudget {
+		biggest, n := "descriptor pool", poolBytes
+		if mapBytes > n {
+			biggest, n = "Bw-tree mapping table", mapBytes
+		}
+		if dirBytes > n {
+			biggest, n = "hash directory", dirBytes
+		}
+		return fmt.Errorf(
+			"pmwcas: fixed regions need %d bytes but each shard has %d (Size %d / Shards %d); largest is the %s at %d bytes",
+			fixed, shardBudget, c.Size, c.Shards, biggest, n)
+	}
 	if c.Classes == nil {
 		// Derive classes from whatever is left after the fixed regions,
 		// with ~10% slack for bitmaps and rounding: five classes sharing
-		// the data budget evenly.
-		fixed := core.PoolSize(c.Descriptors, c.WordsPerDescriptor) +
-			(c.BwTreeMappingSlots+c.HashDirSlots)*nvram.WordSize + (64 << 10)
-		if fixed >= c.Size {
-			fixed = c.Size / 2 // let allocator construction report the overflow
-		}
-		per := (c.Size - fixed) * 9 / 10 / 5
+		// the per-shard data budget evenly.
+		per := (shardBudget - fixed) * 9 / 10 / 5
 		c.Classes = []SizeClass{
 			{BlockSize: 64, Count: max64(per/64, 64)},
 			{BlockSize: 128, Count: max64(per/128, 32)},
@@ -94,6 +135,7 @@ func (c *Config) fill() {
 			{BlockSize: 4096, Count: max64(per/4096, 8)},
 		}
 	}
+	return nil
 }
 
 func max64(a, b uint64) uint64 {
@@ -103,15 +145,10 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// Store assembles the full system: simulated NVRAM device, persistent
-// allocator, PMwCAS descriptor pool, a root directory for anchoring
-// application structures, and regions for the indexes. Its layout is a
-// pure function of Config, which is what makes recovery possible: after
-// a crash, opening the same device with the same Config finds every
-// structure where it was.
-type Store struct {
-	cfg   Config
-	dev   *nvram.Device
+// storeShard is one shard's private slice of the store: its own regions,
+// descriptor pool (and thus epoch manager), and allocator arena. Shards
+// share only the device; every mutable word belongs to exactly one.
+type storeShard struct {
 	pool  *core.Pool
 	alloc *alloc.Allocator
 
@@ -123,11 +160,33 @@ type Store struct {
 	hashDirRegion nvram.Region // hash table directory
 	poolRegion    nvram.Region
 	allocRegion   nvram.Region
+
+	// The hash table is a per-shard singleton; caching it keeps one set
+	// of split/reclaim counters per shard for Stats.
+	htMu    sync.Mutex
+	ht      *hashtable.Table
+	htSlots int
+}
+
+// Store assembles the full system: simulated NVRAM device and, per
+// shard, a persistent allocator, PMwCAS descriptor pool, a root
+// directory for anchoring application structures, and regions for the
+// indexes. Shard region groups are carved back to back in shard order,
+// so a single-shard layout is byte-identical to the pre-sharding one.
+// The whole layout is a pure function of Config, which is what makes
+// recovery possible: after a crash, opening the same device with the
+// same Config finds every structure where it was.
+type Store struct {
+	cfg    Config
+	dev    *nvram.Device
+	shards []*storeShard
 }
 
 // Create builds a fresh store on a new simulated device.
 func Create(cfg Config) (*Store, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	opts := []nvram.Option{}
 	if cfg.FlushLatency > 0 {
 		opts = append(opts, nvram.WithFlushLatency(cfg.FlushLatency))
@@ -146,9 +205,11 @@ func Create(cfg Config) (*Store, error) {
 
 // OpenDevice wraps an existing device (for example, one that just
 // crashed, or was restored from a snapshot) and, in Persistent mode,
-// runs allocator and PMwCAS recovery.
+// runs allocator and PMwCAS recovery shard by shard.
 func OpenDevice(dev *nvram.Device, cfg Config) (*Store, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if dev.Size() < cfg.Size {
 		return nil, fmt.Errorf("pmwcas: device holds %d bytes, config requires %d", dev.Size(), cfg.Size)
 	}
@@ -159,7 +220,9 @@ func OpenDevice(dev *nvram.Device, cfg Config) (*Store, error) {
 // and runs recovery. The Config must match the one the snapshot was
 // created with.
 func OpenFile(path string, cfg Config) (*Store, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	opts := []nvram.Option{}
 	if cfg.FlushLatency > 0 {
 		opts = append(opts, nvram.WithFlushLatency(cfg.FlushLatency))
@@ -171,44 +234,70 @@ func OpenFile(path string, cfg Config) (*Store, error) {
 	return assemble(dev, cfg, true)
 }
 
-func assemble(dev *nvram.Device, cfg Config, recover bool) (*Store, error) {
-	s := &Store{cfg: cfg, dev: dev}
-	l := nvram.NewLayout(dev)
-	s.poolRegion = l.Carve(core.PoolSize(cfg.Descriptors, cfg.WordsPerDescriptor))
-	s.allocRegion = l.Carve(alloc.MetaSize(cfg.Classes, cfg.MaxHandles))
-	s.rootsRegion = l.Carve(nvram.LineBytes * 4) // 32 root words
-	s.mapRegion = l.Carve(cfg.BwTreeMappingSlots * nvram.WordSize)
-	s.metaRegion = l.Carve(nvram.LineBytes)
-	s.blobRegion = l.Carve(blobkv.StagingWords(cfg.MaxHandles) * nvram.WordSize)
-	// Hash table regions come last so their addition leaves every earlier
-	// region — and thus every pre-existing durable image — where it was.
-	s.hashRegion = l.Carve(nvram.LineBytes)
-	s.hashDirRegion = l.Carve(cfg.HashDirSlots * nvram.WordSize)
+// carveShard reserves one shard's region group. The order within a group
+// is fixed forever: hash table regions come last so their addition left
+// every earlier region — and thus every pre-existing durable image —
+// where it was.
+func carveShard(l *nvram.Layout, cfg *Config) *storeShard {
+	sh := &storeShard{}
+	sh.poolRegion = l.Carve(core.PoolSize(cfg.Descriptors, cfg.WordsPerDescriptor))
+	sh.allocRegion = l.Carve(alloc.MetaSize(cfg.Classes, cfg.MaxHandles))
+	sh.rootsRegion = l.Carve(nvram.LineBytes * 4) // 32 root words
+	sh.mapRegion = l.Carve(cfg.BwTreeMappingSlots * nvram.WordSize)
+	sh.metaRegion = l.Carve(nvram.LineBytes)
+	sh.blobRegion = l.Carve(blobkv.StagingWords(cfg.MaxHandles) * nvram.WordSize)
+	sh.hashRegion = l.Carve(nvram.LineBytes)
+	sh.hashDirRegion = l.Carve(cfg.HashDirSlots * nvram.WordSize)
+	return sh
+}
 
+// buildShard constructs a shard's allocator and pool over its regions
+// and, when recovering, replays that shard's deliveries and descriptors.
+func buildShard(dev *nvram.Device, cfg *Config, sh *storeShard, recover bool) (RecoveryStats, error) {
+	var rst RecoveryStats
 	var err error
-	s.alloc, err = alloc.New(dev, s.allocRegion, cfg.Classes, cfg.MaxHandles)
+	sh.alloc, err = alloc.New(dev, sh.allocRegion, cfg.Classes, cfg.MaxHandles)
 	if err != nil {
-		return nil, fmt.Errorf("pmwcas: allocator: %w", err)
+		return rst, fmt.Errorf("allocator: %w", err)
 	}
 	if recover {
-		s.alloc.Recover()
+		sh.alloc.Recover()
 	}
-	s.pool, err = core.NewPool(core.Config{
+	sh.pool, err = core.NewPool(core.Config{
 		Device:             dev,
-		Region:             s.poolRegion,
+		Region:             sh.poolRegion,
 		DescriptorCount:    cfg.Descriptors,
 		WordsPerDescriptor: cfg.WordsPerDescriptor,
 		Mode:               cfg.Mode,
-		Allocator:          s.alloc,
+		Allocator:          sh.alloc,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("pmwcas: pool: %w", err)
+		return rst, fmt.Errorf("pool: %w", err)
 	}
 	// Finalize callbacks must exist before recovery replays descriptors.
-	bwtree.RegisterRecoveryCallbacks(s.pool, s.alloc)
+	bwtree.RegisterRecoveryCallbacks(sh.pool, sh.alloc)
 	if recover {
-		if _, err := s.pool.Recover(); err != nil {
-			return nil, fmt.Errorf("pmwcas: recovery: %w", err)
+		if rst, err = sh.pool.Recover(); err != nil {
+			return rst, fmt.Errorf("recovery: %w", err)
+		}
+	}
+	return rst, nil
+}
+
+func assemble(dev *nvram.Device, cfg Config, recover bool) (*Store, error) {
+	s := &Store{cfg: cfg, dev: dev}
+	l := nvram.NewLayout(dev)
+	// Carve every shard's regions before recovering any: the layout is a
+	// pure function of Config regardless of how far a recovery got.
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, carveShard(l, &cfg))
+	}
+	for i, sh := range s.shards {
+		if _, err := buildShard(dev, &cfg, sh, recover); err != nil {
+			return nil, fmt.Errorf("pmwcas: shard %d: %w", i, err)
+		}
+		if recover && cfg.RecoveryHook != nil {
+			cfg.RecoveryHook(i)
 		}
 	}
 	return s, nil
@@ -217,57 +306,144 @@ func assemble(dev *nvram.Device, cfg Config, recover bool) (*Store, error) {
 // Device exposes the simulated NVRAM device (stats, crash injection).
 func (s *Store) Device() *Device { return s.dev }
 
-// Epochs exposes the store-wide epoch manager.
-func (s *Store) Epochs() *EpochManager { return s.pool.Epochs() }
+// ShardCount returns the number of shards the store was configured with.
+func (s *Store) ShardCount() int { return len(s.shards) }
 
-// PoolStats returns the PMwCAS pool's activity counters.
-func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
+// ShardForKey places an index key on a shard. Placement uses the high
+// bits of the same mix the hash table drives its directory with from the
+// low bits, so a shard's hash directory sees the full low-bit spread —
+// sharding never biases any shard's bucket classes.
+func (s *Store) ShardForKey(key uint64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int((hashtable.Mix64(key) >> 32) % uint64(len(s.shards)))
+}
+
+// Shard is one shard's view of the store: the same index and handle
+// accessors as the Store itself, scoped to that shard's pool, allocator,
+// and regions. Store-level accessors are shorthand for Shard(0).
+type Shard struct {
+	s *Store
+	i int
+}
+
+// Shard returns shard i's view.
+func (s *Store) Shard(i int) *Shard {
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("pmwcas: shard %d out of range [0,%d)", i, len(s.shards)))
+	}
+	return &Shard{s: s, i: i}
+}
+
+// Index returns which shard this view is scoped to.
+func (sh *Shard) Index() int { return sh.i }
+
+// Epochs exposes this shard's epoch manager.
+func (sh *Shard) Epochs() *EpochManager { return sh.state().pool.Epochs() }
+
+// PMwCASHandle returns a per-goroutine handle for issuing raw PMwCAS
+// operations and reads against this shard.
+func (sh *Shard) PMwCASHandle() *Handle { return sh.state().pool.NewHandle() }
+
+func (sh *Shard) state() *storeShard { return sh.s.shards[sh.i] }
+
+// Epochs exposes shard 0's epoch manager. With multiple shards each has
+// its own; use Shard(i).Epochs() for the others.
+func (s *Store) Epochs() *EpochManager { return s.shards[0].pool.Epochs() }
+
+// PoolStats returns shard 0's PMwCAS pool activity counters; Stats
+// merges all shards.
+func (s *Store) PoolStats() PoolStats { return s.shards[0].pool.Stats() }
 
 // StoreStats is a cross-layer observability snapshot: PMwCAS descriptor
 // activity, epoch-reclamation progress, allocator occupancy, and device
-// flush counts in one read. It is what the server's STATS command
-// reports; all counters are cumulative since store creation.
+// flush counts in one read, summed across shards. It is what the
+// server's STATS command reports; all counters are cumulative since
+// store creation (hash structure counters: since the table was opened).
 type StoreStats struct {
+	// Shards is the number of independent engines the totals below sum.
+	Shards int
 	// Pool counts PMwCAS descriptor activity (allocations, helps,
-	// successes/failures, reads that helped).
+	// successes/failures, reads that helped) across all shards.
 	Pool PoolStats
-	// Epoch counts epoch clock advances and deferred/freed garbage.
+	// Epoch counts epoch clock advances and deferred/freed garbage
+	// across all shards. Guards is a gauge, also summed.
 	Epoch EpochStats
-	// Descriptor pool occupancy.
+	// Descriptor pool occupancy across all shards.
 	DescriptorsFree int
 	DescriptorsCap  int
-	// Data-heap occupancy (allocated vs total capacity).
+	// Data-heap occupancy (allocated vs total capacity) across all shards.
 	AllocBlocks, AllocBytes       uint64
 	AllocCapBlocks, AllocCapBytes uint64
+	// Hash table structure activity across all shards (zero until a
+	// shard's HashTable is opened): splits seal one interior bucket each,
+	// reclaims free one, so SealedBuckets = Splits - Reclaims is the net
+	// interior growth this session. The durable count is in
+	// DurableState.HashCheck.
+	HashSplits, HashDoublings, HashReclaims uint64
+	HashSealedBuckets                       uint64
 	// Device holds the NVRAM operation counters (loads, stores, flushes,
-	// fences, crashes).
+	// fences, crashes) for the one shared device.
 	Device DeviceStats
 }
 
-// Stats gathers a StoreStats snapshot. Counters are read individually
-// without a global lock, so a snapshot taken under load is approximate —
-// internally consistent enough for monitoring, not a linearizable cut.
+// Stats gathers a StoreStats snapshot across all shards. Counters are
+// read individually without a global lock, so a snapshot taken under
+// load is approximate — internally consistent enough for monitoring,
+// not a linearizable cut.
 func (s *Store) Stats() StoreStats {
 	st := StoreStats{
-		Pool:            s.pool.Stats(),
-		Epoch:           s.pool.Epochs().Stats(),
-		DescriptorsFree: s.pool.FreeDescriptors(),
-		DescriptorsCap:  s.pool.Capacity(),
-		Device:          s.dev.Stats(),
+		Shards: len(s.shards),
+		Device: s.dev.Stats(),
 	}
-	st.AllocBlocks, st.AllocBytes = s.alloc.InUse()
-	st.AllocCapBlocks, st.AllocCapBytes = s.alloc.Capacity()
+	for _, sh := range s.shards {
+		p := sh.pool.Stats()
+		st.Pool.Allocated += p.Allocated
+		st.Pool.Succeeded += p.Succeeded
+		st.Pool.Failed += p.Failed
+		st.Pool.Discarded += p.Discarded
+		st.Pool.Helps += p.Helps
+		st.Pool.Reads += p.Reads
+		e := sh.pool.Epochs().Stats()
+		st.Epoch.Advances += e.Advances
+		st.Epoch.Deferred += e.Deferred
+		st.Epoch.Freed += e.Freed
+		st.Epoch.Pending += e.Pending
+		st.Epoch.Guards += e.Guards
+		st.DescriptorsFree += sh.pool.FreeDescriptors()
+		st.DescriptorsCap += sh.pool.Capacity()
+		blocks, bytes := sh.alloc.InUse()
+		st.AllocBlocks += blocks
+		st.AllocBytes += bytes
+		blocks, bytes = sh.alloc.Capacity()
+		st.AllocCapBlocks += blocks
+		st.AllocCapBytes += bytes
+		sh.htMu.Lock()
+		t := sh.ht
+		sh.htMu.Unlock()
+		if t != nil {
+			hs := t.Stats()
+			st.HashSplits += hs.Splits
+			st.HashDoublings += hs.Doublings
+			st.HashReclaims += hs.Reclaims
+		}
+	}
+	st.HashSealedBuckets = st.HashSplits - st.HashReclaims
 	return st
 }
 
-// Close quiesces the store: the epoch clock is advanced and every
-// deferred reclamation runs, so all recycled descriptors and blocks are
-// durably finalized. Every handle must be idle — no operation in flight,
-// no guard held (Close panics otherwise, exactly like EpochManager.Drain).
-// The store must not be used after Close; for persistent stores, follow
-// with Checkpoint to capture the quiesced image.
+// Close quiesces the store: every shard's epoch clock is advanced and
+// every deferred reclamation runs, so all recycled descriptors and
+// blocks are durably finalized. Every handle must be idle — no operation
+// in flight, no guard held (Close panics otherwise, exactly like
+// EpochManager.Drain). The store must not be used after Close; for
+// persistent stores, follow with Checkpoint to capture the quiesced
+// image.
 func (s *Store) Close() error {
-	s.pool.Epochs().Drain()
+	for _, sh := range s.shards {
+		sh.pool.Epochs().Drain()
+	}
 	return nil
 }
 
@@ -275,65 +451,94 @@ func (s *Store) Close() error {
 func (s *Store) Mode() Mode { return s.cfg.Mode }
 
 // PMwCASHandle returns a per-goroutine handle for issuing raw PMwCAS
-// operations and reads.
-func (s *Store) PMwCASHandle() *Handle { return s.pool.NewHandle() }
+// operations and reads against shard 0.
+func (s *Store) PMwCASHandle() *Handle { return s.shards[0].pool.NewHandle() }
 
-// RegisterCallback installs a finalize callback (paper §5.2). IDs 1-15
-// are reserved by the library's own structures; applications should use
-// 16 and above.
+// RegisterCallback installs a finalize callback (paper §5.2) on every
+// shard's pool. IDs 1-15 are reserved by the library's own structures;
+// applications should use 16 and above.
 func (s *Store) RegisterCallback(id uint16, fn FinalizeFunc) error {
-	return s.pool.RegisterCallback(id, fn)
+	for i, sh := range s.shards {
+		if err := sh.pool.RegisterCallback(id, fn); err != nil {
+			return fmt.Errorf("pmwcas: shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
-// RootWords is the number of application root slots in the store.
+// RootWords is the number of application root slots in each shard.
 const RootWords = 16
 
-// RootWord returns the offset of application root slot i. Roots are
-// durable words at fixed offsets — the anchors from which persistent
-// structures are found again after a restart. Slots are application-
-// owned; slot assignments must be stable across versions of the
-// application. (The first half of the root region is reserved for the
-// library's own indexes.)
-func (s *Store) RootWord(i int) Offset {
+// RootWord returns the offset of application root slot i on shard 0;
+// Shard(i).RootWord addresses the other shards. Roots are durable words
+// at fixed offsets — the anchors from which persistent structures are
+// found again after a restart. Slots are application-owned; slot
+// assignments must be stable across versions of the application. (The
+// first half of the root region is reserved for the library's own
+// indexes.)
+func (s *Store) RootWord(i int) Offset { return s.Shard(0).RootWord(i) }
+
+// RootWord returns the offset of this shard's application root slot i.
+func (sh *Shard) RootWord(i int) Offset {
 	if i < 0 || i >= RootWords {
 		panic(fmt.Sprintf("pmwcas: root slot %d out of range [0,%d)", i, RootWords))
 	}
-	return s.rootsRegion.Base + nvram.LineBytes*2 + nvram.Offset(i)*nvram.WordSize
+	return sh.state().rootsRegion.Base + nvram.LineBytes*2 + nvram.Offset(i)*nvram.WordSize
 }
 
-// Alloc reserves a block of at least size bytes and durably delivers its
-// offset into the target word (paper §5.2); see Store.RootWord for
-// stable targets. Most callers want ReserveEntry on a descriptor
+// Alloc reserves a block of at least size bytes on shard 0 and durably
+// delivers its offset into the target word (paper §5.2); see RootWord
+// for stable targets. Most callers want ReserveEntry on a descriptor
 // instead; this direct form exists for application root structures.
 func (s *Store) Alloc(size uint64, target Offset) (Offset, error) {
-	return s.alloc.NewHandle().Alloc(size, target)
+	return s.Shard(0).Alloc(size, target)
 }
 
-// Free releases a block previously delivered by Alloc or a descriptor
-// reservation. The caller must guarantee no thread can still reach it
-// (use Epochs().Defer for lock-free structures).
-func (s *Store) Free(block Offset) error { return s.alloc.Free(block) }
+// Alloc reserves a block on this shard's arena; see Store.Alloc.
+func (sh *Shard) Alloc(size uint64, target Offset) (Offset, error) {
+	return sh.state().alloc.NewHandle().Alloc(size, target)
+}
 
-// MemoryInUse reports allocated (blocks, bytes) on the data heap.
-func (s *Store) MemoryInUse() (blocks, bytes uint64) { return s.alloc.InUse() }
+// Free releases a block previously delivered by shard 0's Alloc or a
+// descriptor reservation. The caller must guarantee no thread can still
+// reach it (use Epochs().Defer for lock-free structures).
+func (s *Store) Free(block Offset) error { return s.Shard(0).Free(block) }
 
-// SkipList opens the store's skip list, creating it on first use. The
-// list is a singleton per store (anchored at fixed roots).
-func (s *Store) SkipList() (*SkipList, error) {
+// Free releases a block on this shard's arena; see Store.Free.
+func (sh *Shard) Free(block Offset) error { return sh.state().alloc.Free(block) }
+
+// MemoryInUse reports allocated (blocks, bytes) across all shards' data
+// heaps.
+func (s *Store) MemoryInUse() (blocks, bytes uint64) {
+	for _, sh := range s.shards {
+		b, y := sh.alloc.InUse()
+		blocks += b
+		bytes += y
+	}
+	return blocks, bytes
+}
+
+// SkipList opens shard 0's skip list; see Shard.SkipList.
+func (s *Store) SkipList() (*SkipList, error) { return s.Shard(0).SkipList() }
+
+// SkipList opens this shard's skip list, creating it on first use. The
+// list is a singleton per shard (anchored at fixed roots).
+func (sh *Shard) SkipList() (*SkipList, error) {
+	st := sh.state()
 	return skiplist.New(skiplist.Config{
-		Pool:      s.pool,
-		Allocator: s.alloc,
-		Roots:     nvram.Region{Base: s.rootsRegion.Base, Len: nvram.LineBytes},
+		Pool:      st.pool,
+		Allocator: st.alloc,
+		Roots:     nvram.Region{Base: st.rootsRegion.Base, Len: nvram.LineBytes},
 	})
 }
 
 // CASSkipList creates a fresh volatile baseline skip list sharing the
-// store's device and allocator (for benchmarking against).
+// store's device and shard 0's allocator (for benchmarking against).
 func (s *Store) CASSkipList() (*CASSkipList, error) {
 	if s.cfg.Mode != Volatile {
 		return nil, errors.New("pmwcas: the CAS baseline skip list requires a Volatile store")
 	}
-	return skiplist.NewCAS(s.dev, s.alloc, s.pool.Epochs())
+	return skiplist.NewCAS(s.dev, s.shards[0].alloc, s.shards[0].pool.Epochs())
 }
 
 // BwTreeOptions tunes the store's Bw-tree.
@@ -351,47 +556,59 @@ type BwTreeOptions struct {
 	MergeBelow int
 }
 
-// Queue opens the store's persistent lock-free FIFO queue, creating it
-// on first use. Singleton per store (fixed anchor words).
-func (s *Store) Queue() (*Queue, error) {
+// Queue opens shard 0's persistent FIFO queue; see Shard.Queue.
+func (s *Store) Queue() (*Queue, error) { return s.Shard(0).Queue() }
+
+// Queue opens this shard's persistent lock-free FIFO queue, creating it
+// on first use. Singleton per shard (fixed anchor words).
+func (sh *Shard) Queue() (*Queue, error) {
+	st := sh.state()
 	return pqueue.New(pqueue.Config{
-		Pool:      s.pool,
-		Allocator: s.alloc,
-		Roots:     nvram.Region{Base: s.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes},
+		Pool:      st.pool,
+		Allocator: st.alloc,
+		Roots:     nvram.Region{Base: st.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes},
 	})
 }
 
-// BlobKV opens the store's byte-string key-value layer over the skip
+// BlobKV opens shard 0's blob KV layer; see Shard.BlobKV.
+func (s *Store) BlobKV() (*BlobKV, error) { return s.Shard(0).BlobKV() }
+
+// BlobKV opens this shard's byte-string key-value layer over its skip
 // list: short string keys, arbitrary-length values in out-of-line
-// records, crash-atomic updates. Singleton per store.
-func (s *Store) BlobKV() (*BlobKV, error) {
-	list, err := s.SkipList()
+// records, crash-atomic updates. Singleton per shard.
+func (sh *Shard) BlobKV() (*BlobKV, error) {
+	list, err := sh.SkipList()
 	if err != nil {
 		return nil, err
 	}
+	st := sh.state()
 	// Each blobkv handle consumes a skip list and an allocator handle, so
-	// only a quarter of the store's handle budget is exposed here.
-	n := s.cfg.MaxHandles / 4
+	// only a quarter of the shard's handle budget is exposed here.
+	n := sh.s.cfg.MaxHandles / 4
 	if n < 1 {
 		n = 1
 	}
 	return blobkv.Open(blobkv.Config{
 		List:       list,
-		Allocator:  s.alloc,
-		Device:     s.dev,
-		Staging:    s.blobRegion,
+		Allocator:  st.alloc,
+		Device:     sh.s.dev,
+		Staging:    st.blobRegion,
 		MaxHandles: n,
 	})
 }
 
-// BwTree opens the store's Bw-tree, creating it on first use. The tree
-// is a singleton per store (fixed mapping table region).
-func (s *Store) BwTree(opts BwTreeOptions) (*BwTree, error) {
+// BwTree opens shard 0's Bw-tree; see Shard.BwTree.
+func (s *Store) BwTree(opts BwTreeOptions) (*BwTree, error) { return s.Shard(0).BwTree(opts) }
+
+// BwTree opens this shard's Bw-tree, creating it on first use. The tree
+// is a singleton per shard (fixed mapping table region).
+func (sh *Shard) BwTree(opts BwTreeOptions) (*BwTree, error) {
+	st := sh.state()
 	return bwtree.New(bwtree.Config{
-		Pool:             s.pool,
-		Allocator:        s.alloc,
-		Mapping:          s.mapRegion,
-		Meta:             s.metaRegion,
+		Pool:             st.pool,
+		Allocator:        st.alloc,
+		Mapping:          st.mapRegion,
+		Meta:             st.metaRegion,
 		SMO:              opts.SMO,
 		LeafCapacity:     opts.LeafCapacity,
 		InnerCapacity:    opts.InnerCapacity,
@@ -408,17 +625,39 @@ type HashTableOptions struct {
 	SlotsPerBucket int
 }
 
-// HashTable opens the store's persistent lock-free hash table — the
-// point-lookup index — creating it on first use. Singleton per store
-// (fixed anchor line and directory region).
+// HashTable opens shard 0's hash table; see Shard.HashTable.
 func (s *Store) HashTable(opts HashTableOptions) (*HashTable, error) {
-	return hashtable.New(hashtable.Config{
-		Pool:           s.pool,
-		Allocator:      s.alloc,
-		Roots:          s.hashRegion,
-		Dir:            s.hashDirRegion,
-		SlotsPerBucket: opts.SlotsPerBucket,
+	return s.Shard(0).HashTable(opts)
+}
+
+// HashTable opens this shard's persistent lock-free hash table — the
+// point-lookup index — creating it on first use. Singleton per shard
+// (fixed anchor line and directory region); repeated opens with the same
+// geometry return the same table, so its split/reclaim counters stay in
+// one place for Stats.
+func (sh *Shard) HashTable(opts HashTableOptions) (*HashTable, error) {
+	st := sh.state()
+	slots := opts.SlotsPerBucket
+	if slots == 0 {
+		slots = hashtable.DefaultSlotsPerBucket
+	}
+	st.htMu.Lock()
+	defer st.htMu.Unlock()
+	if st.ht != nil && st.htSlots == slots {
+		return st.ht, nil
+	}
+	t, err := hashtable.New(hashtable.Config{
+		Pool:           st.pool,
+		Allocator:      st.alloc,
+		Roots:          st.hashRegion,
+		Dir:            st.hashDirRegion,
+		SlotsPerBucket: slots,
 	})
+	if err != nil {
+		return nil, err
+	}
+	st.ht, st.htSlots = t, slots
+	return t, nil
 }
 
 // Crash simulates a power failure: every cache line that was not written
@@ -434,46 +673,53 @@ func (s *Store) Crash() error {
 }
 
 // Recover reruns allocator and PMwCAS recovery on this store after a
-// Crash. Application finalize callbacks must already be registered.
+// Crash, shard by shard in shard order (Config.RecoveryHook fires after
+// each). Application finalize callbacks must already be registered.
 // Equivalent to (and interchangeable with) reopening via OpenDevice.
 func (s *Store) Recover() (RecoveryStats, error) {
 	if s.cfg.Mode != Persistent {
 		return RecoveryStats{}, errors.New("pmwcas: Recover on a volatile store")
 	}
-	// Rebuild the allocator's volatile state, then replay deliveries and
-	// descriptors.
-	a, err := alloc.New(s.dev, s.allocRegion, s.cfg.Classes, s.cfg.MaxHandles)
-	if err != nil {
-		return RecoveryStats{}, err
-	}
-	a.Recover()
-	pool, err := core.NewPool(core.Config{
-		Device:             s.dev,
-		Region:             s.poolRegion,
-		DescriptorCount:    s.cfg.Descriptors,
-		WordsPerDescriptor: s.cfg.WordsPerDescriptor,
-		Mode:               s.cfg.Mode,
-		Allocator:          a,
-	})
-	if err != nil {
-		return RecoveryStats{}, err
-	}
-	bwtree.RegisterRecoveryCallbacks(pool, a)
-	st, err := pool.Recover()
-	if err != nil {
-		return st, err
+	var total RecoveryStats
+	// Rebuild every shard's volatile state and replay its deliveries and
+	// descriptors into fresh substrates; nothing is swapped in until every
+	// shard has recovered, so a failed recovery leaves the store as it was.
+	fresh := make([]*storeShard, len(s.shards))
+	for i, old := range s.shards {
+		sh := &storeShard{
+			rootsRegion: old.rootsRegion, mapRegion: old.mapRegion,
+			metaRegion: old.metaRegion, blobRegion: old.blobRegion,
+			hashRegion: old.hashRegion, hashDirRegion: old.hashDirRegion,
+			poolRegion: old.poolRegion, allocRegion: old.allocRegion,
+		}
+		rst, err := buildShard(s.dev, &s.cfg, sh, true)
+		if err != nil {
+			return total, fmt.Errorf("pmwcas: shard %d: %w", i, err)
+		}
+		total.Scanned += rst.Scanned
+		total.RolledForward += rst.RolledForward
+		total.RolledBack += rst.RolledBack
+		total.Reclaimed += rst.Reclaimed
+		total.WordsRepaired += rst.WordsRepaired
+		total.CorruptCounts += rst.CorruptCounts
+		fresh[i] = sh
+		if s.cfg.RecoveryHook != nil {
+			s.cfg.RecoveryHook(i)
+		}
 	}
 	// Swap in the recovered substrates, then poison the old ones. Handles,
 	// guards, and index objects minted before the crash still reference the
-	// old pool and allocator; letting them operate would silently corrupt
+	// old pools and allocators; letting them operate would silently corrupt
 	// the recovered state (stale free lists, stale epoch clock, descriptors
 	// the new pool believes are Free). Poisoning turns any such use into an
 	// immediate panic naming the recovery that invalidated it.
-	oldPool, oldAlloc := s.pool, s.alloc
-	s.alloc, s.pool = a, pool
-	oldPool.Poison("Store.Recover replaced this pool; re-mint handles from the store")
-	oldAlloc.Poison("Store.Recover replaced this allocator; re-mint handles from the store")
-	return st, nil
+	old := s.shards
+	s.shards = fresh
+	for _, sh := range old {
+		sh.pool.Poison("Store.Recover replaced this pool; re-mint handles from the store")
+		sh.alloc.Poison("Store.Recover replaced this allocator; re-mint handles from the store")
+	}
+	return total, nil
 }
 
 // Checkpoint writes the durable image to a file. The snapshot is
@@ -492,79 +738,104 @@ type CheckOptions struct {
 
 // DurableState is the logical content CheckInvariants extracted from the
 // durable image — the ground truth a durable-linearizability oracle
-// compares against.
+// compares against. With multiple shards the slices hold every shard's
+// entries, concatenated in shard order.
 type DurableState struct {
 	SkipList []SkipListEntry
 	BwTree   []BwTreeEntry
 	Hash     []HashEntry       // unspecified order
-	Queue    []uint64          // FIFO order
+	Queue    []uint64          // FIFO order within each shard
 	Blobs    map[string][]byte // only populated with CheckOptions.Blob
+	// HashCheck summarizes the hash tables' structure across shards
+	// (bucket counts, sealed interior buckets awaiting reclaim,
+	// tombstoned edges).
+	HashCheck hashtable.CheckStats
 }
 
-// CheckInvariants audits the whole store against its structural
-// invariants. It must run on a quiescent, freshly recovered store (right
-// after OpenDevice/OpenFile/Recover, before any new operation): it reads
-// the raw image, so concurrent mutators would race it, and it asserts the
-// post-recovery ground state of the descriptor pool.
+// CheckInvariants audits the whole store — every shard — against its
+// structural invariants. It must run on a quiescent, freshly recovered
+// store (right after OpenDevice/OpenFile/Recover, before any new
+// operation): it reads the raw image, so concurrent mutators would race
+// it, and it asserts the post-recovery ground state of the descriptor
+// pools.
 //
-// Layers checked, in order: the descriptor pool (every descriptor durably
-// Free, count zero, on the free list), each index's structural invariants
-// (see skiplist.Check, bwtree.Check, pqueue.Check, blobkv.Check), and
-// finally the allocator bitmap against the union of every block the
-// indexes reach — a block allocated but unreachable is a leak, a block
-// reachable but not allocated is dangling.
+// Layers checked per shard, in order: the descriptor pool (every
+// descriptor durably Free, count zero, on the free list), each index's
+// structural invariants (see skiplist.Check, bwtree.Check, pqueue.Check,
+// blobkv.Check), and finally the shard's allocator bitmap against the
+// union of every block its indexes reach — a block allocated but
+// unreachable is a leak, a block reachable but not allocated is
+// dangling. Any shard's failure fails the whole audit, with the error
+// naming the shard.
 func (s *Store) CheckInvariants(opt CheckOptions) (*DurableState, error) {
-	if err := s.pool.CheckRecovered(); err != nil {
-		return nil, err
-	}
 	st := &DurableState{}
+	for i, sh := range s.shards {
+		if err := s.checkShard(i, sh, opt, st); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return st, nil
+}
+
+func (s *Store) checkShard(i int, sh *storeShard, opt CheckOptions, st *DurableState) error {
+	if err := sh.pool.CheckRecovered(); err != nil {
+		return err
+	}
 	var reachable []Offset
 
-	skipRoots := nvram.Region{Base: s.rootsRegion.Base, Len: nvram.LineBytes}
+	skipRoots := nvram.Region{Base: sh.rootsRegion.Base, Len: nvram.LineBytes}
 	blocks, entries, err := skiplist.Check(s.dev, skipRoots)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reachable = append(reachable, blocks...)
-	st.SkipList = entries
+	st.SkipList = append(st.SkipList, entries...)
 
-	qRoots := nvram.Region{Base: s.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes}
+	qRoots := nvram.Region{Base: sh.rootsRegion.Base + nvram.LineBytes, Len: nvram.LineBytes}
 	blocks, values, err := pqueue.Check(s.dev, qRoots)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reachable = append(reachable, blocks...)
-	st.Queue = values
+	st.Queue = append(st.Queue, values...)
 
-	blocks, tentries, err := bwtree.Check(s.dev, s.mapRegion, s.metaRegion)
+	blocks, tentries, err := bwtree.Check(s.dev, sh.mapRegion, sh.metaRegion)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reachable = append(reachable, blocks...)
-	st.BwTree = tentries
+	st.BwTree = append(st.BwTree, tentries...)
 
-	blocks, hentries, err := hashtable.Check(s.dev, s.hashRegion, s.hashDirRegion)
+	blocks, hentries, hstats, err := hashtable.Check(s.dev, sh.hashRegion, sh.hashDirRegion)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reachable = append(reachable, blocks...)
-	st.Hash = hentries
+	st.Hash = append(st.Hash, hentries...)
+	st.HashCheck.Buckets += hstats.Buckets
+	st.HashCheck.Live += hstats.Live
+	st.HashCheck.Sealed += hstats.Sealed
+	st.HashCheck.SeveredEdges += hstats.SeveredEdges
 
 	if opt.Blob {
 		n := s.cfg.MaxHandles / 4
 		if n < 1 {
 			n = 1
 		}
-		blocks, blobs, err := blobkv.Check(s.dev, s.alloc, s.blobRegion, n, st.SkipList)
+		// Blob records live on the same shard as their skip list entries,
+		// so this shard's slice of st.SkipList is exactly `entries`.
+		blocks, blobs, err := blobkv.Check(s.dev, sh.alloc, sh.blobRegion, n, entries)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reachable = append(reachable, blocks...)
-		st.Blobs = blobs
+		if st.Blobs == nil {
+			st.Blobs = make(map[string][]byte)
+		}
+		for k, v := range blobs {
+			st.Blobs[k] = v
+		}
 	}
 
-	if err := s.alloc.CheckInUse(reachable); err != nil {
-		return nil, err
-	}
-	return st, nil
+	return sh.alloc.CheckInUse(reachable)
 }
