@@ -1,0 +1,149 @@
+// Command benchdiff compares two pmwcas-loadgen -json result files: a
+// committed reference and a fresh run. It prints throughput and latency
+// ratios (new/ref) so the perf trajectory is visible in CI logs, and
+// exits non-zero only on a schema mismatch — a histogram or field the
+// reference promises that the fresh run no longer produces. Ratio
+// drift is reported, never failed on: CI machines are too noisy for a
+// hard perf gate, but a silently vanished metric is a code bug.
+//
+// Usage:
+//
+//	benchdiff -ref bench/BENCH_server.json -new BENCH_server.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors the pmwcas-loadgen -json schema loosely: unknown
+// fields are tolerated (the schema may grow), absent ones are the
+// mismatch this tool exists to catch.
+type result struct {
+	ElapsedNs int64                  `json:"elapsed_ns"`
+	TotalOps  int                    `json:"total_ops"`
+	Errors    int                    `json:"errors"`
+	OpsPerSec float64                `json:"ops_per_sec"`
+	LatencyNs *latency               `json:"latency_ns"`
+	Server    map[string]histSummary `json:"server"`
+}
+
+type latency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+type histSummary struct {
+	Count uint64 `json:"count"`
+	Mean  uint64 `json:"mean"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+	Max   uint64 `json:"max"`
+}
+
+func main() {
+	refPath := flag.String("ref", "", "committed reference result (required)")
+	newPath := flag.String("new", "", "fresh run result (required)")
+	flag.Parse()
+	if *refPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ref, err := load(*refPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	mismatches := checkSchema(ref, fresh)
+
+	fmt.Printf("throughput: %.0f -> %.0f ops/s (x%.2f)\n",
+		ref.OpsPerSec, fresh.OpsPerSec, ratio(fresh.OpsPerSec, ref.OpsPerSec))
+	if ref.LatencyNs != nil && fresh.LatencyNs != nil {
+		fmt.Printf("client latency: p50 x%.2f  p90 x%.2f  p99 x%.2f  max x%.2f\n",
+			ratio(float64(fresh.LatencyNs.P50), float64(ref.LatencyNs.P50)),
+			ratio(float64(fresh.LatencyNs.P90), float64(ref.LatencyNs.P90)),
+			ratio(float64(fresh.LatencyNs.P99), float64(ref.LatencyNs.P99)),
+			ratio(float64(fresh.LatencyNs.Max), float64(ref.LatencyNs.Max)))
+	}
+	names := make([]string, 0, len(ref.Server))
+	for n := range ref.Server {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		nh, ok := fresh.Server[n]
+		if !ok {
+			continue // already a schema mismatch, reported below
+		}
+		rh := ref.Server[n]
+		fmt.Printf("%-32s p50 %6d -> %6d (x%.2f)  p99 %6d -> %6d (x%.2f)\n",
+			n, rh.P50, nh.P50, ratio(float64(nh.P50), float64(rh.P50)),
+			rh.P99, nh.P99, ratio(float64(nh.P99), float64(rh.P99)))
+	}
+
+	if len(mismatches) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: schema mismatch — the fresh run is missing:")
+		for _, m := range mismatches {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("schema: OK (every reference metric present in the fresh run)")
+}
+
+// checkSchema returns everything the reference has that fresh lacks.
+func checkSchema(ref, fresh *result) []string {
+	var missing []string
+	if fresh.TotalOps == 0 {
+		missing = append(missing, "total_ops (zero — run did no work?)")
+	}
+	if ref.LatencyNs != nil && fresh.LatencyNs == nil {
+		missing = append(missing, "latency_ns")
+	}
+	names := make([]string, 0, len(ref.Server))
+	for n := range ref.Server {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, ok := fresh.Server[n]; !ok {
+			missing = append(missing, "server."+n)
+		}
+	}
+	return missing
+}
+
+func load(path string) (*result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

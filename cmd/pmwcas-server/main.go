@@ -10,6 +10,12 @@
 //
 //	pmwcas-server [-addr :7171] [-file store.img] [-index skiplist|bwtree|hash]
 //	              [-mode persistent|volatile] [-size mib] [-shards n] [-maxconns n]
+//	              [-debug-addr 127.0.0.1:7172] [-metrics]
+//
+// -debug-addr, when set, serves the observability surface over HTTP:
+// /metrics (JSON snapshot), /metrics.txt (wire METRICS text), /trace
+// (PMwCAS descriptor lifecycle ring as JSON), and /debug/pprof/*. Keep
+// it on a loopback or otherwise access-controlled address.
 //
 // Stop with SIGINT/SIGTERM: the server drains in-flight requests, closes
 // the store, and (with -file, persistent mode) checkpoints.
@@ -20,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"pmwcas"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/server"
 )
 
@@ -40,9 +48,14 @@ func main() {
 	descriptors := flag.Int("descriptors", 4096, "PMwCAS descriptor pool size (per shard)")
 	readTimeout := flag.Duration("readtimeout", 0, "per-connection idle timeout (0 = none)")
 	drainGrace := flag.Duration("draingrace", 250*time.Millisecond, "shutdown drain window per connection")
+	debugAddr := flag.String("debug-addr", "", "optional HTTP listener for /metrics, /metrics.txt, /trace, and /debug/pprof (keep on loopback)")
+	metricsOn := flag.Bool("metrics", true, "record latency histograms and counters (DRAM only)")
+	traceOn := flag.Bool("trace", true, "record PMwCAS descriptor lifecycle events into the trace ring (needs -metrics)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pmwcas-server: ", log.LstdFlags)
+	metrics.Enable(*metricsOn)
+	metrics.TraceEnable(*traceOn)
 
 	cfg := pmwcas.Config{
 		Size:        *sizeMiB << 20,
@@ -83,6 +96,17 @@ func main() {
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: metrics.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		logger.Printf("debug endpoints on http://%s/{metrics,metrics.txt,trace,debug/pprof}", *debugAddr)
 	}
 
 	// Serve until a signal arrives, then drain, close, checkpoint.

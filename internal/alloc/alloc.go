@@ -31,8 +31,20 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
+)
+
+// Observability (DRAM-only; see internal/metrics). Alloc latency covers
+// the full reserve→zero→activate handoff, which is flush-dominated — it
+// is the persistency cost of node creation.
+var (
+	mAllocs   = metrics.NewCounter("alloc_blocks_allocated")
+	mFrees    = metrics.NewCounter("alloc_blocks_freed")
+	mAllocOOM = metrics.NewCounter("alloc_out_of_memory")
+	mAllocNs  = metrics.NewHistogram("alloc_ns")
 )
 
 // Class describes one size class: Count blocks of BlockSize bytes each.
@@ -248,6 +260,7 @@ func (a *Allocator) BlockSize(block nvram.Offset) (uint64, error) {
 type Handle struct {
 	a    *Allocator
 	slot nvram.Offset // 2 words: [block, target]
+	lane metrics.Stripe
 }
 
 // NewHandle returns the next free handle. It panics when more than
@@ -260,7 +273,7 @@ func (a *Allocator) NewHandle() *Handle {
 	if a.nextHandle >= a.nslots {
 		panic(fmt.Sprintf("alloc: more than %d handles requested", a.nslots))
 	}
-	h := &Handle{a: a, slot: a.slots + nvram.Offset(a.nextHandle)*2*nvram.WordSize}
+	h := &Handle{a: a, slot: a.slots + nvram.Offset(a.nextHandle)*2*nvram.WordSize, lane: metrics.NextStripe()}
 	a.nextHandle++
 	return h
 }
@@ -276,6 +289,10 @@ func (a *Allocator) NewHandle() *Handle {
 func (h *Handle) Alloc(size uint64, target nvram.Offset) (nvram.Offset, error) {
 	a := h.a
 	a.checkPoisoned()
+	var t0 time.Time
+	if metrics.On() {
+		t0 = time.Now()
+	}
 	ci := a.classFor(size)
 	if ci < 0 {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
@@ -318,8 +335,13 @@ func (h *Handle) Alloc(size uint64, target nvram.Offset) (nvram.Offset, error) {
 		// 5. Retire the delivery record; the handoff is complete.
 		a.dev.Store(h.slot, 0)
 		a.dev.Flush(h.slot)
+		mAllocs.Inc(h.lane)
+		if !t0.IsZero() {
+			mAllocNs.ObserveSince(h.lane, t0)
+		}
 		return block, nil
 	}
+	mAllocOOM.Inc(h.lane)
 	return 0, fmt.Errorf("%w: no block >= %d bytes", ErrOutOfMemory, size)
 }
 
@@ -361,6 +383,7 @@ func (a *Allocator) FreeWithBarrier(block nvram.Offset, barrier func()) error {
 	c.mu.Lock()
 	c.free = append(c.free, idx)
 	c.mu.Unlock()
+	mFrees.Inc(metrics.StripeAt(int(idx)))
 	return nil
 }
 
@@ -399,6 +422,7 @@ func (a *Allocator) FreeManyWithBarrier(blocks []nvram.Offset, barrier func()) e
 		l.c.free = append(l.c.free, l.idx)
 		l.c.mu.Unlock()
 	}
+	mFrees.Add(metrics.StripeAt(len(cleared)), uint64(len(cleared)))
 	return nil
 }
 

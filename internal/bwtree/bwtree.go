@@ -35,6 +35,7 @@ import (
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -284,11 +285,12 @@ type Handle struct {
 	tree *Tree
 	core *core.Handle
 	ah   *alloc.Handle
+	lane metrics.Stripe
 }
 
 // NewHandle creates a per-goroutine handle.
 func (t *Tree) NewHandle() *Handle {
-	return &Handle{tree: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle()}
+	return &Handle{tree: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle(), lane: metrics.NextStripe()}
 }
 
 // readMapping reads a mapping word under the caller's guard, helping any

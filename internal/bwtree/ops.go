@@ -4,6 +4,15 @@ import (
 	"errors"
 
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
+)
+
+// Traversal-shape instruments (DRAM-only): descend depth counts mapping
+// hops root→leaf (including lateral side-link moves), restarts count
+// stale-route retries.
+var (
+	mDescendDepth    = metrics.NewHistogram("bwtree_descend_depth")
+	mDescendRestarts = metrics.NewCounter("bwtree_descend_restarts")
 )
 
 // pathEntry records one inner page visited during a descent: the LPID
@@ -29,6 +38,9 @@ func (h *Handle) descend(key uint64) ([]pathEntry, uint64, pageView, error) {
 	t := h.tree
 restart:
 	for attempt := 0; attempt < maxDescentRestarts; attempt++ {
+		if attempt > 0 {
+			mDescendRestarts.Inc(h.lane)
+		}
 		var path []pathEntry
 		lpid := uint64(RootLPID)
 		for depth := 0; depth < 64; depth++ {
@@ -57,6 +69,7 @@ restart:
 				continue
 			}
 			if v.isLeaf {
+				mDescendDepth.Observe(h.lane, int64(depth)+1)
 				return path, lpid, v, nil
 			}
 			child, ok := v.route(key)

@@ -2,11 +2,38 @@ package bwtree
 
 import (
 	"errors"
+	"time"
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
+
+// SMO latency instruments (DRAM-only). Only attempts that did work are
+// observed: the cheap "nothing to do" early returns stay unmeasured so
+// the distributions describe real SMOs.
+var (
+	mConsolidateNs = metrics.NewHistogram("bwtree_consolidate_ns")
+	mSplitNs       = metrics.NewHistogram("bwtree_split_ns")
+	mMergeNs       = metrics.NewHistogram("bwtree_merge_ns")
+)
+
+// observeSMO records one SMO's latency when it ran to a decision.
+func (h *Handle) observeSMO(hist *metrics.Histogram, t0 time.Time, did bool) {
+	if did && !t0.IsZero() {
+		hist.ObserveSince(h.lane, t0)
+	}
+}
+
+// smoStart returns the timing origin for an SMO attempt, zero when
+// metrics are off.
+func smoStart() time.Time {
+	if metrics.On() {
+		return time.Now()
+	}
+	return time.Time{}
+}
 
 // Structure modification operations: consolidation, splits, and merges.
 //
@@ -219,11 +246,13 @@ func (h *Handle) collapseRoot(v *pageView) bool {
 // whether the swap landed.
 //
 //pmwcas:requires-guard — reads the mapping word it intends to swap
-func (h *Handle) consolidate(lpid uint64, v *pageView) bool {
+func (h *Handle) consolidate(lpid uint64, v *pageView) (did bool) {
 	t := h.tree
 	if v.removed || v.chain == 0 {
 		return false
 	}
+	t0 := smoStart()
+	defer func() { h.observeSMO(mConsolidateNs, t0, did) }()
 	if t.smo == SMOSingleCAS {
 		return h.consolidateCAS(lpid, v)
 	}
@@ -257,10 +286,12 @@ func (h *Handle) consolidate(lpid uint64, v *pageView) bool {
 // also one PMwCAS.
 //
 //pmwcas:requires-guard — reads parent and sibling mapping words
-func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) bool {
+func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 	if v.chain != 0 || v.removed {
 		return false // split only consolidated pages; maintenance will return
 	}
+	t0 := smoStart()
+	defer func() { h.observeSMO(mSplitNs, t0, did) }()
 	t := h.tree
 	size := len(v.leafEntries) + len(v.innerEntries)
 	if size < 2 {
@@ -410,11 +441,13 @@ func buildUpperHalf(t *Tree, ah *alloc.Handle, v *pageView, sep uint64, target n
 // atomic operation.
 //
 //pmwcas:requires-guard — reads three mapping words another thread may retire
-func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) bool {
+func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 	t := h.tree
 	if len(path) == 0 || v.removed {
 		return false
 	}
+	t0 := smoStart()
+	defer func() { h.observeSMO(mMergeNs, t0, did) }()
 	parent := path[len(path)-1]
 	pv := h.resolve(parent.head)
 	if pv.removed || pv.isLeaf {

@@ -9,6 +9,7 @@ import (
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/epoch"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -312,12 +313,16 @@ func (p *Pool) flushHeader(d nvram.Offset) {
 }
 
 // persist implements Algorithm 1's persist in pool mode: in Volatile mode
-// it is free.
-func (p *Pool) persist(addr nvram.Offset, value uint64) {
+// it is free. A non-nil o charges the flush to that operation's cost
+// observation (one Flush, no fence — see Persist).
+func (p *Pool) persist(addr nvram.Offset, value uint64, o *opObs) {
 	if p.mode != Persistent {
 		return
 	}
 	Persist(p.dev, addr, value)
+	if o != nil {
+		o.flushes++
+	}
 }
 
 // readStatus returns a descriptor's status with the dirty bit masked.
@@ -347,15 +352,17 @@ func (p *Pool) checkPoisoned() {
 // Handles must not be shared between goroutines; create one per worker.
 func (p *Pool) NewHandle() *Handle {
 	p.checkPoisoned()
-	return &Handle{pool: p, guard: p.mgr.Register()}
+	return &Handle{pool: p, guard: p.mgr.Register(), lane: metrics.NextStripe()}
 }
 
 // A Handle is one thread's interface to the pool: it carries the thread's
-// epoch guard and a small private cache of free descriptors (the paper's
-// per-thread descriptor partitions, §5.1).
+// epoch guard, its metrics lane, and a small private cache of free
+// descriptors (the paper's per-thread descriptor partitions, §5.1).
 type Handle struct {
 	pool  *Pool
 	guard *epoch.Guard
+	lane  metrics.Stripe
+	ops   uint64 // Execute count, drives latency-clock sampling
 	cache []int
 }
 
@@ -426,6 +433,7 @@ func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
 		h.pool.mgr.Advance()
 		h.pool.mgr.Collect()
 		if idx = h.takeIndex(); idx < 0 {
+			mPoolExhausted.Inc(h.lane)
 			return nil, ErrPoolExhausted
 		}
 	}
@@ -434,6 +442,7 @@ func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
 	if got := p.readStatus(d); got != StatusFree {
 		panic(fmt.Sprintf("core: descriptor %d on free list has status %s", idx, statusName(got)))
 	}
+	metrics.DefaultTrace().Record(metrics.TraceAlloc, uint64(d), h.lane, uint64(callbackID))
 	// Count must be durably zero before any entry is reserved, so that a
 	// crash mid-initialization cannot resurrect entries from the
 	// descriptor's previous incarnation (§5.1). The finalizer already
@@ -592,6 +601,8 @@ func (d *Descriptor) Discard() error {
 	d.done = true
 	p := d.h.pool
 	p.stats.discarded.Add(1)
+	mDiscards.Inc(d.h.lane)
+	metrics.DefaultTrace().Record(metrics.TraceDiscard, uint64(d.off), d.h.lane, 0)
 	p.dev.ShadowDrop()
 	p.retire(d.off, d.idx, false)
 	return nil
@@ -601,6 +612,11 @@ func (d *Descriptor) Discard() error {
 // thread can dereference it, its memory policies run and it returns to
 // the free list (§5.1).
 func (p *Pool) retire(d nvram.Offset, idx int, succeeded bool) {
+	var aux uint64
+	if succeeded {
+		aux = 1
+	}
+	metrics.DefaultTrace().Record(metrics.TraceRetire, uint64(d), metrics.StripeAt(idx), aux)
 	p.mgr.Defer(func() {
 		p.finalize(d, succeeded)
 		p.releaseIndex(idx)
@@ -640,6 +656,11 @@ func (p *Pool) finalize(d nvram.Offset, succeeded bool) {
 	if p.mode == Persistent {
 		p.dev.Fence()
 	}
+	var aux uint64
+	if succeeded {
+		aux = 1
+	}
+	metrics.DefaultTrace().Record(metrics.TraceFinalize, uint64(d), metrics.StripeAt(int(d/nvram.LineBytes)), aux)
 }
 
 // DescriptorView is a read-only view of a concluded descriptor handed to

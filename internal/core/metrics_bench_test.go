@@ -1,0 +1,75 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"pmwcas/internal/metrics"
+)
+
+// BenchmarkPMwCASMetricsOverhead pins the cost of the metrics substrate
+// on the PMwCAS fast path: the same uncontended 4-word persistent
+// Execute loop as BenchmarkPMwCAS4Words, with recording disabled and
+// enabled. The acceptance budget is <5% overhead with metrics on —
+// compare the two sub-benchmark ns/op directly, or run
+// TestMetricsFastPathOverheadBudget with PMWCAS_PERF_ASSERT=1 to have
+// the comparison asserted.
+func BenchmarkPMwCASMetricsOverhead(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "metrics=off"
+		if on {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer metrics.Enable(true)
+			metrics.Enable(on)
+			benchFastPath(b)
+		})
+	}
+}
+
+func benchFastPath(b *testing.B) {
+	e := newEnv(b, Persistent, false)
+	addrs := e.initWords(0, 0, 0, 0)
+	h := e.pool.NewHandle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := h.AllocateDescriptor(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := uint64(i)
+		for _, a := range addrs {
+			d.AddWord(a, v, v+1)
+		}
+		if ok, _ := d.Execute(); !ok {
+			b.Fatal("uncontended Execute failed")
+		}
+	}
+}
+
+// TestMetricsFastPathOverheadBudget asserts the <5% budget by running
+// both benchmark arms and comparing ns/op. Timing-sensitive, so it is
+// opt-in: enable with PMWCAS_PERF_ASSERT=1 on a quiet machine.
+func TestMetricsFastPathOverheadBudget(t *testing.T) {
+	if os.Getenv("PMWCAS_PERF_ASSERT") == "" {
+		t.Skip("set PMWCAS_PERF_ASSERT=1 to assert the overhead budget (timing-sensitive)")
+	}
+	defer metrics.Enable(true)
+	run := func(on bool) float64 {
+		metrics.Enable(on)
+		r := testing.Benchmark(benchFastPath)
+		return float64(r.NsPerOp())
+	}
+	// Interleave a warmup of each arm so CPU frequency state is even.
+	run(false)
+	run(true)
+	off := run(false)
+	on := run(true)
+	overhead := on/off - 1
+	t.Logf("fast path: metrics=off %.0f ns/op, metrics=on %.0f ns/op, overhead %.1f%%", off, on, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("metrics overhead %.1f%% exceeds the 5%% fast-path budget", overhead*100)
+	}
+}

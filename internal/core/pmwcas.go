@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -31,6 +33,22 @@ func (d *Descriptor) Execute() (bool, error) {
 	p := d.h.pool
 	p.checkPoisoned()
 
+	// Observe the operation from the owner's lane. The stack-local obs
+	// travels the whole exec path (including helpers the owner recruits)
+	// so flushes and fences are charged per operation, not per thread.
+	obs := opObs{lane: d.h.lane}
+	var t0 time.Time
+	on := metrics.On()
+	if on {
+		mExecutes.Inc(obs.lane)
+		metrics.DefaultTrace().Record(metrics.TraceExecute, uint64(d.off), obs.lane, uint64(d.n))
+		d.h.ops++
+		if d.h.ops&latSampleMask == 0 {
+			obs.timed = true
+			t0 = time.Now()
+		}
+	}
+
 	// The descriptor — contents and Undecided status — must be durable
 	// before the first descriptor pointer becomes visible: recovery
 	// replays whatever the pool says was in flight, so the pool must not
@@ -47,9 +65,14 @@ func (d *Descriptor) Execute() (bool, error) {
 	p.dev.Store(d.off+descStatusOff, StatusUndecided)
 	p.flushHeader(d.off)
 	p.dev.Fence()
+	if p.mode == Persistent {
+		// flushEntries covers the entry lines, flushHeader one more.
+		obs.flushes += (p.size-descWordsOff)/nvram.LineBytes + 1
+		obs.fences += 2
+	}
 
 	d.h.guard.Enter()
-	ok := p.exec(d.off, false)
+	ok := p.exec(d.off, false, &obs)
 	d.h.guard.Exit()
 
 	// Commit boundary for the psan persistency sanitizer: a successful
@@ -68,6 +91,18 @@ func (d *Descriptor) Execute() (bool, error) {
 		p.stats.succeeded.Add(1)
 	} else {
 		p.stats.failed.Add(1)
+	}
+	if on {
+		if ok {
+			mSucceeded.Inc(obs.lane)
+		} else {
+			mFailed.Inc(obs.lane)
+		}
+		if obs.timed {
+			mExecLat.ObserveSince(obs.lane, t0)
+		}
+		mFlushesPerOp.Observe(obs.lane, int64(obs.flushes))
+		mFencesPerOp.Observe(obs.lane, int64(obs.fences))
 	}
 	p.retire(d.off, d.idx, ok)
 	return ok, nil
@@ -95,9 +130,14 @@ func (p *Pool) installOrder(mdesc nvram.Offset, n int) []int {
 // by any helper that encountered the descriptor. It is idempotent: any
 // number of threads may execute it concurrently for the same descriptor
 // and exactly one outcome is installed.
-func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
+func (p *Pool) exec(mdesc nvram.Offset, helping bool, o *opObs) bool {
 	if helping {
 		p.stats.helps.Add(1)
+		if metrics.On() {
+			lane := laneOf(o, mdesc)
+			mHelps.Inc(lane)
+			metrics.DefaultTrace().Record(metrics.TraceHelp, uint64(mdesc), lane, 0)
+		}
 	}
 	n := int(p.dev.Load(mdesc+descCountOff) & countMask)
 
@@ -111,7 +151,7 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 			addr := p.dev.Load(w + wordAddrOff)
 			old := p.dev.Load(w + wordOldOff)
 			for {
-				rval := p.installMwCASDescriptor(w, addr, old, mdesc)
+				rval := p.installMwCASDescriptor(w, addr, old, mdesc, o)
 				switch {
 				case rval == old,
 					rval&MwCASFlag != 0 && rval&AddressMask == mdesc:
@@ -121,14 +161,15 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 					// Clashed with another in-progress PMwCAS: make sure
 					// what we saw is durable, help it finish, retry ours.
 					if rval&DirtyFlag != 0 {
-						p.persist(addr, rval)
+						p.persist(addr, rval, o)
 					}
-					p.exec(rval&AddressMask&^DirtyFlag, true)
+					mInstallRetries.Add(laneOf(o, mdesc), 1)
+					p.exec(rval&AddressMask&^DirtyFlag, true, o)
 					continue
 				case rval&DirtyFlag != 0:
 					// A plain value that merely is not persisted yet; after
 					// persisting it may well equal the expected value.
-					p.persist(addr, rval)
+					p.persist(addr, rval, o)
 					continue
 				default:
 					// A clean value different from what we expect: lost.
@@ -146,13 +187,19 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 			for i := 0; i < n; i++ {
 				w := wordOff(mdesc, i)
 				addr := p.dev.Load(w + wordAddrOff)
-				p.persist(addr, mdesc|MwCASFlag|DirtyFlag)
+				p.persist(addr, mdesc|MwCASFlag|DirtyFlag, o)
 			}
 		}
 
 		// Decide. Exactly one thread's CAS moves Undecided to a final
 		// status; everyone else observes the winner's decision.
-		p.dev.CAS(mdesc+descStatusOff, StatusUndecided, st|p.dirty)
+		if p.dev.CAS(mdesc+descStatusOff, StatusUndecided, st|p.dirty) && metrics.On() {
+			var aux uint64
+			if st == StatusSucceeded {
+				aux = 1
+			}
+			metrics.DefaultTrace().Record(metrics.TraceDecide, uint64(mdesc), laneOf(o, mdesc), aux)
+		}
 	}
 
 	// Persist the decision before Phase 2 (§4.3): once any new value is
@@ -161,12 +208,19 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 	if p.mode == Persistent {
 		if cur := p.dev.Load(mdesc + descStatusOff); cur&DirtyFlag != 0 {
 			Persist(p.dev, mdesc+descStatusOff, cur)
+			if o != nil {
+				o.flushes++
+			}
 		}
 	}
 	succeeded := p.readStatus(mdesc) == StatusSucceeded
 
 	// ----- Phase 2: replace descriptor pointers with final values (new on
 	// success, old on failure/rollback).
+	var t2 time.Time
+	if o != nil && o.timed {
+		t2 = time.Now()
+	}
 	for i := 0; i < n; i++ {
 		w := wordOff(mdesc, i)
 		addr := p.dev.Load(w + wordAddrOff)
@@ -182,7 +236,10 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 			// (dirty bit cleared by a reader); swing that form too.
 			p.dev.CAS(addr, expected&^DirtyFlag, val|p.dirty)
 		}
-		p.persist(addr, val|p.dirty)
+		p.persist(addr, val|p.dirty, o)
+	}
+	if !t2.IsZero() {
+		mPhase2Lat.ObserveSince(o.lane, t2)
 	}
 	return succeeded
 }
@@ -198,13 +255,14 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool) bool {
 // delayed thread from re-installing a descriptor for an operation that
 // already finished, which would overwrite a later operation's result and
 // break linearizability (§4.2).
-func (p *Pool) installMwCASDescriptor(wdesc, addr nvram.Offset, old uint64, mdesc nvram.Offset) uint64 {
+func (p *Pool) installMwCASDescriptor(wdesc, addr nvram.Offset, old uint64, mdesc nvram.Offset, o *opObs) uint64 {
 	ptr := wdesc | RDCSSFlag
 	for {
 		cur := p.dev.Load(addr)
 		switch {
 		case cur == old:
 			if !p.dev.CAS(addr, old, ptr) {
+				mInstallRetries.Add(laneOf(o, mdesc), 1)
 				continue // value changed under us; reevaluate
 			}
 			p.completeInstall(wdesc, addr, old, mdesc)
@@ -216,7 +274,7 @@ func (p *Pool) installMwCASDescriptor(wdesc, addr nvram.Offset, old uint64, mdes
 		case cur&DirtyFlag != 0 && cur&MwCASFlag == 0:
 			// Plain-but-dirty value: persist and reevaluate; it may equal
 			// the expected value once clean.
-			p.persist(addr, cur)
+			p.persist(addr, cur, o)
 		default:
 			return cur
 		}
@@ -270,12 +328,13 @@ func (p *Pool) read(addr nvram.Offset) uint64 {
 			continue
 		}
 		if v&DirtyFlag != 0 {
-			p.persist(addr, v)
+			p.persist(addr, v, nil)
 			v &^= DirtyFlag
 		}
 		if v&MwCASFlag != 0 {
 			p.stats.reads.Add(1)
-			p.exec(v&AddressMask, true)
+			mReadHelps.Add(metrics.StripeAt(int(addr/nvram.WordSize)), 1)
+			p.exec(v&AddressMask, true, nil)
 			continue
 		}
 		return v
@@ -332,10 +391,11 @@ func (p *Pool) readTraverse(addr nvram.Offset) uint64 {
 			// Helping dereferences the descriptor, so the pointer must
 			// be durable first — same rule as read.
 			if v&DirtyFlag != 0 {
-				p.persist(addr, v)
+				p.persist(addr, v, nil)
 			}
 			p.stats.reads.Add(1)
-			p.exec(v&AddressMask, true)
+			mReadHelps.Add(metrics.StripeAt(int(addr/nvram.WordSize)), 1)
+			p.exec(v&AddressMask, true, nil)
 			continue
 		}
 		// Plain value: return it dirty-bit-stripped without persisting.

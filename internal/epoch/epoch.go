@@ -19,7 +19,23 @@ package epoch
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pmwcas/internal/metrics"
 )
+
+// Observability (DRAM-only; see internal/metrics). Guard hold time is
+// sampled 1-in-64 so the per-Enter cost on the read hot path stays one
+// counter increment; reclamation lag is exact — Defer already takes a
+// lock, one timestamp does not change its cost class.
+var (
+	mHoldNs   = metrics.NewHistogram("epoch_guard_hold_ns")
+	mLagNs    = metrics.NewHistogram("epoch_reclaim_lag_ns")
+	mCollects = metrics.NewCounter("epoch_collects")
+)
+
+// holdSampleMask samples every 64th outermost Enter/Exit pair.
+const holdSampleMask = 63
 
 // idle marks a guard that is not inside any epoch. Epochs start at 1 so 0
 // can never be a legitimate protected epoch.
@@ -59,6 +75,7 @@ type Stats struct {
 
 type deferred struct {
 	epoch uint64
+	at    int64 // UnixNano at Defer, 0 when metrics were off
 	fn    Callback
 }
 
@@ -79,7 +96,7 @@ func NewManager() *Manager {
 //
 // (pmwcaslint's guardpair analyzer reports this pattern.)
 func (m *Manager) Register() *Guard {
-	g := &Guard{mgr: m}
+	g := &Guard{mgr: m, lane: metrics.NextStripe()}
 	m.mu.Lock()
 	m.guards = append(m.guards, g)
 	m.mu.Unlock()
@@ -130,8 +147,12 @@ func (m *Manager) Advance() uint64 {
 // the current one. fn must be non-nil.
 func (m *Manager) Defer(fn Callback) {
 	e := m.global.Load()
+	var at int64
+	if metrics.On() {
+		at = time.Now().UnixNano()
+	}
 	m.gmu.Lock()
-	m.garbage = append(m.garbage, deferred{epoch: e, fn: fn})
+	m.garbage = append(m.garbage, deferred{epoch: e, at: at, fn: fn})
 	m.gmu.Unlock()
 	m.deferred.Add(1)
 }
@@ -169,9 +190,18 @@ func (m *Manager) Collect() int {
 	m.garbage = m.garbage[i:]
 	m.gmu.Unlock()
 
+	if len(ready) > 0 && metrics.On() {
+		now := time.Now().UnixNano()
+		for i, d := range ready {
+			if d.at != 0 {
+				mLagNs.Observe(metrics.StripeAt(i), now-d.at)
+			}
+		}
+	}
 	for _, d := range ready {
 		d.fn()
 	}
+	mCollects.Inc(metrics.StripeAt(int(safeBelow)))
 	m.freed.Add(uint64(len(ready)))
 	return len(ready)
 }
@@ -231,6 +261,10 @@ type Guard struct {
 	epoch atomic.Uint64 // idle or the epoch this guard is pinned in
 	depth int           // reentrancy count; single-goroutine access only
 	dead  bool          // set by Unregister; any further Enter panics
+
+	lane   metrics.Stripe
+	enters uint64 // outermost Enter count, drives hold-time sampling
+	t0     int64  // UnixNano of a sampled outermost Enter, else 0
 }
 
 // Enter pins the guard in the current global epoch. Enter/Exit pairs may
@@ -251,6 +285,10 @@ func (g *Guard) Enter() {
 	}
 	if g.depth == 0 {
 		g.epoch.Store(g.mgr.global.Load())
+		g.enters++
+		if g.enters&holdSampleMask == 0 && metrics.On() {
+			g.t0 = time.Now().UnixNano()
+		}
 	}
 	g.depth++
 }
@@ -263,6 +301,10 @@ func (g *Guard) Exit() {
 	}
 	g.depth--
 	if g.depth == 0 {
+		if g.t0 != 0 {
+			mHoldNs.Observe(g.lane, time.Now().UnixNano()-g.t0)
+			g.t0 = 0
+		}
 		g.epoch.Store(idle)
 	}
 }

@@ -77,6 +77,7 @@ import (
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -425,11 +426,12 @@ type Handle struct {
 	t    *Table
 	core *core.Handle
 	ah   *alloc.Handle
+	lane metrics.Stripe
 }
 
 // NewHandle creates a per-goroutine handle.
 func (t *Table) NewHandle() *Handle {
-	return &Handle{t: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle()}
+	return &Handle{t: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle(), lane: metrics.NextStripe()}
 }
 
 func checkKey(key uint64) error {

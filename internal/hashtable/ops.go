@@ -2,8 +2,10 @@ package hashtable
 
 import (
 	"errors"
+	"time"
 
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -43,6 +45,15 @@ func (h *Handle) dirReadHint(off nvram.Offset) uint64 {
 	return v
 }
 
+// Traversal-shape and SMO instruments (DRAM-only). Locate depth counts
+// sealed-bucket hops under a directory hint — the chain length path
+// compression exists to shorten.
+var (
+	mLocateDepth = metrics.NewHistogram("hashtable_locate_depth")
+	mSplitNs     = metrics.NewHistogram("hashtable_split_ns")
+	mReclaimNs   = metrics.NewHistogram("hashtable_reclaim_ns")
+)
+
 //pmwcas:requires-guard — walks directory hints and bucket chain words the epoch may hand to late readers
 func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	t := h.t
@@ -55,7 +66,9 @@ func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	b := first
 	meta := h.core.Read(b + bucketMetaOff)
 	target := first
+	hops := int64(0)
 	for metaSealed(meta) {
+		hops++
 		// An observed seal implies both children were installed by the
 		// same PMwCAS; the depth in the sealed meta selects the hash bit.
 		// Child words are never tombstoned — only forest roots are
@@ -84,6 +97,7 @@ func (h *Handle) locate(hash uint64) (nvram.Offset, uint64) {
 	if metaDepth(meta) > g && g < t.maxDepth {
 		h.tryDouble(g)
 	}
+	mLocateDepth.Observe(h.lane, hops)
 	return b, meta
 }
 
@@ -379,6 +393,10 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 	depth := metaDepth(meta)
 	if depth >= maxBucketDepth {
 		return errors.New("hashtable: bucket depth exhausted (pathological hash collisions)")
+	}
+	if metrics.On() {
+		t0 := time.Now()
+		defer mSplitNs.ObserveSince(h.lane, t0)
 	}
 	// Snapshot the slots. Consistency is validated by the meta compare in
 	// the PMwCAS below: any concurrent mutation bumps the version and

@@ -62,7 +62,10 @@
 package hashtable
 
 import (
+	"time"
+
 	"pmwcas/internal/core"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -96,6 +99,10 @@ func (h *Handle) tryReclaim(b nvram.Offset, class uint64, depth int) bool {
 		return false // a doubling or another reclaim is in flight
 	}
 	defer t.growClaim.Store(false)
+	if metrics.On() {
+		t0 := time.Now()
+		defer mReclaimNs.ObserveSince(h.lane, t0)
+	}
 
 	g := int(t.wordRead(t.depthWord)) - 1
 	if depth >= g {

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the observability surface pmwcas-server mounts on
+// -debug-addr:
+//
+//	/metrics        merged registry snapshot as JSON (expvar-style)
+//	/metrics.txt    the same snapshot in the METRICS wire text format
+//	/trace          the descriptor lifecycle ring as a JSON array
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// The handler is read-only and allocation-light; it is safe to leave
+// mounted in production (on a loopback or otherwise access-controlled
+// address — pprof exposes heap contents).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(def.Snapshot())
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(def.Snapshot().Format()))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := defTrace.DumpJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

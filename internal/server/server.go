@@ -22,7 +22,28 @@ import (
 
 	"pmwcas"
 	"pmwcas/internal/keycodec"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/wire"
+)
+
+// Wire-level instruments (DRAM-only; see internal/metrics). Per-command
+// latency runs decode-to-write — the server-side cost a client observes
+// minus network. Pipeline depth is sampled at each flush: how many
+// responses one write syscall carried.
+var (
+	mCmdNs = map[wire.Op]*metrics.Histogram{
+		wire.OpPing:    metrics.NewHistogram("server_ping_ns"),
+		wire.OpGet:     metrics.NewHistogram("server_get_ns"),
+		wire.OpPut:     metrics.NewHistogram("server_put_ns"),
+		wire.OpDelete:  metrics.NewHistogram("server_delete_ns"),
+		wire.OpScan:    metrics.NewHistogram("server_scan_ns"),
+		wire.OpStats:   metrics.NewHistogram("server_stats_ns"),
+		wire.OpMetrics: metrics.NewHistogram("server_metrics_ns"),
+	}
+	mPipelineDepth = metrics.NewHistogram("server_pipeline_depth")
+	mBadRequests   = metrics.NewCounter("server_bad_requests")
+	mBusyRejects   = metrics.NewCounter("server_busy_rejects")
+	mActiveConns   = metrics.NewGauge("server_active_conns")
 )
 
 // Config assembles a Server.
@@ -174,6 +195,7 @@ func (s *Server) Rejected() uint64 { return s.rejected.Load() }
 // caller may already be closing.
 func (s *Server) reject(conn net.Conn, why string) {
 	s.rejected.Add(1)
+	mBusyRejects.Inc(metrics.StripeAt(int(s.rejected.Load())))
 	s.mu.Lock()
 	if s.closed.Load() {
 		// Shutdown already ran (or is running) its drain: it may have
@@ -258,17 +280,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) serveConn(conn net.Conn, b backend) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	lane := metrics.NextStripe()
+	mActiveConns.Add(1)
 	defer func() {
 		_ = bw.Flush()
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		mActiveConns.Add(-1)
 		s.pool <- b // lease back before wg.Done: Shutdown's drain sees a full pool
 		s.wg.Done()
 	}()
 
 	var frame, respBuf []byte
+	var batch int64 // responses written since the last flush
 	for {
 		if s.cfg.ReadTimeout > 0 && !s.closed.Load() {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -285,9 +311,14 @@ func (s *Server) serveConn(conn net.Conn, b backend) {
 		}
 		frame = body[:cap(body)]
 
+		var t0 time.Time
+		if metrics.On() {
+			t0 = time.Now()
+		}
 		req, derr := wire.DecodeRequest(body)
 		var resp wire.Response
 		if derr != nil {
+			mBadRequests.Inc(lane)
 			resp = wire.Response{Status: wire.StatusBadRequest, Msg: derr.Error()}
 		} else {
 			resp = s.handle(b, &req)
@@ -302,6 +333,12 @@ func (s *Server) serveConn(conn net.Conn, b backend) {
 			s.cfg.Logf("server: %s: write: %v", conn.RemoteAddr(), err)
 			return
 		}
+		batch++
+		if !t0.IsZero() && derr == nil {
+			if h := mCmdNs[req.Op]; h != nil {
+				h.ObserveSince(lane, t0)
+			}
+		}
 		// Batch writes across a pipelined burst: flush only when the next
 		// read could block (no request bytes already buffered).
 		if br.Buffered() == 0 {
@@ -309,6 +346,8 @@ func (s *Server) serveConn(conn net.Conn, b backend) {
 				s.cfg.Logf("server: %s: flush: %v", conn.RemoteAddr(), err)
 				return
 			}
+			mPipelineDepth.Observe(lane, batch)
+			batch = 0
 		}
 	}
 }
@@ -364,6 +403,25 @@ func (s *Server) handle(b backend, req *wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusOK, Entries: []wire.Entry{
 			{Value: []byte(FormatStats(s.cfg.Store.Stats()))},
 		}}
+
+	case wire.OpMetrics:
+		// The key selects the view: empty renders the registry snapshot
+		// (counters, gauges, histogram percentiles), "trace" dumps the
+		// descriptor lifecycle ring as JSON.
+		switch string(req.Key) {
+		case "":
+			return wire.Response{Status: wire.StatusOK, Entries: []wire.Entry{
+				{Value: []byte(metrics.Default().Snapshot().Format())},
+			}}
+		case "trace":
+			b, err := metrics.DefaultTrace().DumpJSON()
+			if err != nil {
+				return wire.Response{Status: wire.StatusErr, Msg: err.Error()}
+			}
+			return wire.Response{Status: wire.StatusOK, Entries: []wire.Entry{{Value: b}}}
+		}
+		return wire.Response{Status: wire.StatusBadRequest,
+			Msg: fmt.Sprintf("unknown METRICS view %q (want empty or \"trace\")", req.Key)}
 	}
 	return wire.Response{Status: wire.StatusBadRequest, Msg: fmt.Sprintf("unhandled op %s", req.Op)}
 }
@@ -416,8 +474,10 @@ func FormatStats(st pmwcas.StoreStats) string {
 	add("hash_sealed_buckets", st.HashSealedBuckets)
 	add("device_loads", st.Device.Loads)
 	add("device_stores", st.Device.Stores)
+	add("device_cases", st.Device.CASes)
 	add("device_flushes", st.Device.Flushes)
 	add("device_fences", st.Device.Fences)
+	add("device_crashes", st.Device.Crashes)
 	return string(b)
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -454,5 +455,52 @@ func TestFormatStats(t *testing.T) {
 	text := FormatStats(store.Stats())
 	if !strings.Contains(text, "descriptors_cap 1024\n") {
 		t.Fatalf("stats text missing pool capacity:\n%s", text)
+	}
+}
+
+// TestFormatStatsCoversEveryField plants a distinct sentinel in every
+// numeric StoreStats leaf (including nested Pool/Epoch/Device structs)
+// and asserts each sentinel appears in the FormatStats output. A field
+// added to StoreStats but silently dropped from the STATS wire surface
+// fails here by name.
+func TestFormatStatsCoversEveryField(t *testing.T) {
+	var st pmwcas.StoreStats
+	sentinels := map[string]uint64{}
+	next := uint64(900001)
+	var fill func(v reflect.Value, path string)
+	fill = func(v reflect.Value, path string) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				f := v.Type().Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				fill(v.Field(i), path+"."+f.Name)
+			}
+		case reflect.Uint, reflect.Uint32, reflect.Uint64:
+			v.SetUint(next)
+			sentinels[path] = next
+			next++
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			v.SetInt(int64(next))
+			sentinels[path] = next
+			next++
+		default:
+			t.Fatalf("StoreStats leaf %s has unhandled kind %s — extend this test", path, v.Kind())
+		}
+	}
+	fill(reflect.ValueOf(&st).Elem(), "StoreStats")
+	if len(sentinels) == 0 {
+		t.Fatal("reflection found no numeric fields in StoreStats")
+	}
+	text := FormatStats(st)
+	for path, want := range sentinels {
+		if !strings.Contains(text, fmt.Sprintf(" %d\n", want)) {
+			t.Errorf("%s (sentinel %d) missing from FormatStats output", path, want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("FormatStats output:\n%s", text)
 	}
 }

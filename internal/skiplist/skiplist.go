@@ -49,6 +49,7 @@ import (
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
 	"pmwcas/internal/epoch"
+	"pmwcas/internal/metrics"
 	"pmwcas/internal/nvram"
 )
 
@@ -273,7 +274,15 @@ type Handle struct {
 	core *core.Handle
 	ah   *alloc.Handle
 	rng  *rand.Rand
+	lane metrics.Stripe
 }
+
+// Traversal-shape instruments (DRAM-only): find steps are the link hops
+// one locate pays, restarts count marked-link collisions with deleters.
+var (
+	mFindSteps    = metrics.NewHistogram("skiplist_find_steps")
+	mFindRestarts = metrics.NewCounter("skiplist_find_restarts")
+)
 
 // NewHandle creates a per-goroutine handle. seed differentiates tower
 // height streams; any value works.
@@ -283,6 +292,7 @@ func (l *List) NewHandle(seed int64) *Handle {
 		core: l.pool.NewHandle(),
 		ah:   l.alloc.NewHandle(),
 		rng:  rand.New(rand.NewSource(seed)),
+		lane: metrics.NextStripe(),
 	}
 }
 
@@ -328,13 +338,16 @@ type findResult struct {
 //pmwcas:traversal — link values navigate only; publishes go through AddWord
 func (h *Handle) find(key uint64) findResult {
 	l := h.list
+	steps := int64(0)
 restart:
 	var r findResult
 	pred := l.head
 	for i := MaxHeight - 1; i >= 0; i-- {
 		for {
+			steps++
 			next := h.core.ReadTraverse(pred + linkOff(i, false))
 			if next&DeletedMask != 0 {
+				mFindRestarts.Inc(h.lane)
 				goto restart
 			}
 			if next == 0 {
@@ -354,6 +367,7 @@ restart:
 	if s := r.succs[0]; s != l.tail && l.key(s) == key {
 		r.found = s
 	}
+	mFindSteps.Observe(h.lane, steps)
 	return r
 }
 

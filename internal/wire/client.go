@@ -203,3 +203,29 @@ func (c *Client) Stats() (string, error) {
 	}
 	return string(resp.Entries[0].Value), nil
 }
+
+// Metrics fetches the server's metrics snapshot: counters plus latency
+// histogram summaries, one per line ("name count=N mean=M p50=A ...").
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.Do(&Request{Op: OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != StatusOK || len(resp.Entries) != 1 {
+		return "", fmt.Errorf("wire: metrics: %s: %s", resp.Status, resp.Msg)
+	}
+	return string(resp.Entries[0].Value), nil
+}
+
+// Trace fetches the server's PMwCAS descriptor lifecycle trace ring as
+// JSON (the METRICS op with the "trace" view selector).
+func (c *Client) Trace() ([]byte, error) {
+	resp, err := c.Do(&Request{Op: OpMetrics, Key: []byte("trace")})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK || len(resp.Entries) != 1 {
+		return nil, fmt.Errorf("wire: trace: %s: %s", resp.Status, resp.Msg)
+	}
+	return append([]byte(nil), resp.Entries[0].Value...), nil
+}

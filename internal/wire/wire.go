@@ -26,6 +26,9 @@
 //	DELETE key
 //	SCAN   key (lower), end (upper), limit → count entries, ordered
 //	STATS  -                        → single entry, textual "name value" lines
+//	METRICS key (view selector)     → single entry; empty key = histogram/counter
+//	        text ("name count=.. p50=.." lines), key "trace" = the descriptor
+//	        lifecycle ring as JSON
 //
 // SCAN bounds are inclusive byte-string bounds; an empty end means "to
 // the end of the keyspace". A limit of 0 asks for the server default.
@@ -58,6 +61,7 @@ const (
 	OpDelete
 	OpScan
 	OpStats
+	OpMetrics
 	opMax
 )
 
@@ -75,6 +79,8 @@ func (o Op) String() string {
 		return "SCAN"
 	case OpStats:
 		return "STATS"
+	case OpMetrics:
+		return "METRICS"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }

@@ -399,3 +399,48 @@ func TestConfigOverflowErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestPoolStatsMergesShards is the regression test for PoolStats
+// returning only shard 0's counters: drive PMwCAS activity exclusively
+// on a non-zero shard and assert the merged view still sees it (the
+// old single-shard read reported all zeros here).
+func TestPoolStatsMergesShards(t *testing.T) {
+	const shards = 4
+	st, err := Create(testShardConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Pick a shard that is not 0 and insert only keys routed to it.
+	target := 0
+	keys := make(map[int][]uint64)
+	for k := uint64(1); k <= 200; k++ {
+		si := st.ShardForKey(k)
+		keys[si] = append(keys[si], k)
+		if si != 0 {
+			target = si
+		}
+	}
+	if target == 0 {
+		t.Fatal("no key routed off shard 0 — routing is degenerate")
+	}
+	tab, err := st.Shard(target).HashTable(HashTableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tab.NewHandle()
+	for _, k := range keys[target][:10] {
+		if err := h.Insert(k, k); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+
+	ps := st.PoolStats()
+	if ps.Succeeded == 0 || ps.Allocated == 0 {
+		t.Fatalf("PoolStats sees no activity on shard %d — not merged across shards: %+v", target, ps)
+	}
+	if got, want := ps, st.Stats().Pool; got != want {
+		t.Fatalf("PoolStats %+v disagrees with Stats().Pool %+v", got, want)
+	}
+}

@@ -352,9 +352,21 @@ func (sh *Shard) state() *storeShard { return sh.s.shards[sh.i] }
 // its own; use Shard(i).Epochs() for the others.
 func (s *Store) Epochs() *EpochManager { return s.shards[0].pool.Epochs() }
 
-// PoolStats returns shard 0's PMwCAS pool activity counters; Stats
-// merges all shards.
-func (s *Store) PoolStats() PoolStats { return s.shards[0].pool.Stats() }
+// PoolStats returns the PMwCAS pool activity counters summed across all
+// shards (use Shard(i).PMwCASHandle's pool for a single shard's view).
+func (s *Store) PoolStats() PoolStats {
+	var st PoolStats
+	for _, sh := range s.shards {
+		p := sh.pool.Stats()
+		st.Allocated += p.Allocated
+		st.Succeeded += p.Succeeded
+		st.Failed += p.Failed
+		st.Discarded += p.Discarded
+		st.Helps += p.Helps
+		st.Reads += p.Reads
+	}
+	return st
+}
 
 // StoreStats is a cross-layer observability snapshot: PMwCAS descriptor
 // activity, epoch-reclamation progress, allocator occupancy, and device
@@ -395,16 +407,10 @@ type StoreStats struct {
 func (s *Store) Stats() StoreStats {
 	st := StoreStats{
 		Shards: len(s.shards),
+		Pool:   s.PoolStats(),
 		Device: s.dev.Stats(),
 	}
 	for _, sh := range s.shards {
-		p := sh.pool.Stats()
-		st.Pool.Allocated += p.Allocated
-		st.Pool.Succeeded += p.Succeeded
-		st.Pool.Failed += p.Failed
-		st.Pool.Discarded += p.Discarded
-		st.Pool.Helps += p.Helps
-		st.Pool.Reads += p.Reads
 		e := sh.pool.Epochs().Stats()
 		st.Epoch.Advances += e.Advances
 		st.Epoch.Deferred += e.Deferred
