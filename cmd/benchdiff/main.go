@@ -6,17 +6,29 @@
 // drift is reported, never failed on: CI machines are too noisy for a
 // hard perf gate, but a silently vanished metric is a code bug.
 //
+// With -allocs the inputs are instead `go test -bench -benchmem` text
+// output, and the gate hardens: allocs/op is deterministic, so any
+// benchmark whose fresh allocs/op exceeds the committed reference —
+// or that vanished from the fresh run — fails the diff (DESIGN.md
+// §6.3: the dynamic half of the hot-path allocation budget; the
+// static half is pmwcaslint's hotpath analyzer).
+//
 // Usage:
 //
 //	benchdiff -ref bench/BENCH_server.json -new BENCH_server.json
+//	benchdiff -allocs -ref BENCH_allocs.txt -new allocs-ci.txt
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // result mirrors the pmwcas-loadgen -json schema loosely: unknown
@@ -50,10 +62,14 @@ type histSummary struct {
 func main() {
 	refPath := flag.String("ref", "", "committed reference result (required)")
 	newPath := flag.String("new", "", "fresh run result (required)")
+	allocsMode := flag.Bool("allocs", false, "inputs are `go test -bench -benchmem` output; fail on any allocs/op regression")
 	flag.Parse()
 	if *refPath == "" || *newPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *allocsMode {
+		os.Exit(diffAllocs(*refPath, *newPath))
 	}
 
 	ref, err := load(*refPath)
@@ -146,4 +162,104 @@ func ratio(a, b float64) float64 {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// allocResult is one -benchmem benchmark line, keyed by package + name
+// (the same benchmark name recurs across index packages).
+type allocResult struct {
+	nsPerOp     float64
+	bytesPerOp  int64
+	allocsPerOp int64
+}
+
+// benchLineRE matches `BenchmarkX[-procs] <iters> <ns> ns/op <B> B/op <allocs> allocs/op`.
+var benchLineRE = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// parseBenchFile reads `go test -bench -benchmem` output, tracking the
+// `pkg:` context lines so identically named benchmarks in different
+// packages stay distinct.
+func parseBenchFile(path string) (map[string]allocResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]allocResult)
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bytes, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		out[pkg+"."+m[1]] = allocResult{nsPerOp: ns, bytesPerOp: bytes, allocsPerOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+// diffAllocs gates allocs/op against the committed budget: a fresh run
+// must produce every reference benchmark at no more allocs/op than the
+// reference recorded. ns/op and B/op are printed for context only.
+func diffAllocs(refPath, newPath string) int {
+	ref, err := parseBenchFile(refPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	if len(ref) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s holds no -benchmem benchmark lines\n", refPath)
+		return 1
+	}
+	fresh, err := parseBenchFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+
+	names := make([]string, 0, len(ref))
+	for n := range ref {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, n := range names {
+		r := ref[n]
+		f, ok := fresh[n]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from the fresh run", n))
+			continue
+		}
+		verdict := "OK"
+		if f.allocsPerOp > r.allocsPerOp {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op, budget %d", n, f.allocsPerOp, r.allocsPerOp))
+		}
+		fmt.Printf("%-60s %3d -> %3d allocs/op  %5d -> %5d B/op  (%.0f -> %.0f ns/op)  %s\n",
+			n, r.allocsPerOp, f.allocsPerOp, r.bytesPerOp, f.bytesPerOp,
+			r.nsPerOp, f.nsPerOp, verdict)
+	}
+	for n := range fresh {
+		if _, ok := ref[n]; !ok {
+			fmt.Printf("%-60s (new benchmark, no budget yet — re-baseline to gate it)\n", n)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: allocation budget exceeded:")
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("allocs: OK (every benchmark within its committed budget)")
+	return 0
 }

@@ -1,6 +1,7 @@
 // Command pmwcaslint runs the PMwCAS protocol analyzers (internal/lint)
-// over Go packages. It is both a `go vet -vettool` unitchecker and its
-// own driver:
+// plus three stock vet passes vendored from the toolchain (atomic,
+// copylock, loopclosure) over Go packages. It is both a `go vet
+// -vettool` unitchecker and its own driver:
 //
 //	go run ./cmd/pmwcaslint ./...        # lint the whole tree
 //	go run ./cmd/pmwcaslint -audit ./... # only audit //lint:allow comments
@@ -42,10 +43,32 @@ import (
 	"strconv"
 	"strings"
 
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"pmwcas/internal/lint"
 )
+
+// Stock vet analyzers vendored from the Go toolchain ride along with the
+// protocol analyzers: lock-free code is exactly where a misused atomic, a
+// copied mutex, or a goroutine-captured loop variable does the most
+// damage. Named here (rather than used inline) so the tests can run each
+// one against a fixture that seeds its bug.
+var (
+	atomicAnalyzer      = atomic.Analyzer
+	copylockAnalyzer    = copylock.Analyzer
+	loopclosureAnalyzer = loopclosure.Analyzer
+)
+
+// analyzers is the full unitchecker set: protocol analyzers then stock
+// vet passes.
+func analyzers() []*analysis.Analyzer {
+	all := append([]*analysis.Analyzer{}, lint.Analyzers...)
+	return append(all, atomicAnalyzer, copylockAnalyzer, loopclosureAnalyzer)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -56,7 +79,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	// (flag enumeration), or `pmwcaslint [flags] unit.cfg` (analysis unit).
 	for _, arg := range args {
 		if arg == "-V=full" || arg == "-V" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
-			unitchecker.Main(lint.Analyzers...) // does not return
+			unitchecker.Main(analyzers()...) // does not return
 		}
 	}
 

@@ -1,0 +1,17 @@
+// Fixture proving the vendored `atomic` vet analyzer fires through the
+// pmwcaslint analyzer set: assigning the result of an atomic
+// read-modify-write back to the operand races with concurrent updaters.
+package vetatomic
+
+import "sync/atomic"
+
+var counter uint64
+
+func bump() uint64 {
+	counter = atomic.AddUint64(&counter, 1) // want `direct assignment to atomic value`
+	return counter
+}
+
+func bumpOK() uint64 {
+	return atomic.AddUint64(&counter, 1)
+}

@@ -1,0 +1,26 @@
+// Fixture proving the vendored `copylock` vet analyzer fires through
+// the pmwcaslint analyzer set: a sync.Mutex passed or copied by value
+// forks the lock state and silently stops excluding anything.
+package vetcopylock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func byValue(g guarded) uint64 { // want `byValue passes lock by value: fixtures/vetcopylock.guarded contains sync.Mutex`
+	return g.n
+}
+
+func copies(g *guarded) uint64 {
+	snap := *g // want `assignment copies lock value to snap: fixtures/vetcopylock.guarded contains sync.Mutex`
+	return snap.n
+}
+
+func byPointerOK(g *guarded) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

@@ -1,0 +1,19 @@
+// Fixture proving the vendored `loopclosure` vet analyzer fires through
+// the pmwcaslint analyzer set. The build constraint pins this file to
+// go1.21 language semantics, where loop variables are per-loop rather
+// than per-iteration: every goroutine spawned below captures the same
+// variable, and most observe only its final value. (For go1.22+ files
+// the analyzer correctly stays silent, so the constraint is what keeps
+// this fixture exercising the check.)
+
+//go:build go1.21
+
+package vetloopclosure
+
+func Spawn(keys []uint64, publish func(uint64)) {
+	for _, k := range keys {
+		go func() {
+			publish(k) // want `loop variable k captured by func literal`
+		}()
+	}
+}

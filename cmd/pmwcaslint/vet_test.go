@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"pmwcas/internal/lint/linttest"
+)
+
+// The three stock vet analyzers vendored from the toolchain ride along
+// with the protocol analyzers in every pmwcaslint run. Each fixture
+// seeds the one bug its analyzer exists to catch, proving the vendored
+// copies actually fire under our driver rather than silently no-opping
+// against a changed API.
+func TestVetAtomic(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), atomicAnalyzer, "vetatomic")
+}
+
+func TestVetCopylock(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), copylockAnalyzer, "vetcopylock")
+}
+
+func TestVetLoopclosure(t *testing.T) {
+	linttest.Run(t, linttest.TestData(t), loopclosureAnalyzer, "vetloopclosure")
+}

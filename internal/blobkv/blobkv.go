@@ -205,6 +205,7 @@ func (h *Handle) writeRecord(key uint64, val []byte) (nvram.Offset, error) {
 // free or finds no record staged at all; it can never free a block that
 // a later allocation now owns.
 func (h *Handle) unstage(rec nvram.Offset) {
+	//lint:allow hotpath — barrier closure on the unstage path: it runs only when a Put loses its publication race or fails outright, never on the success path (§6.3)
 	_ = h.s.alloc.FreeWithBarrier(rec, func() {
 		h.s.dev.Store(h.slot, 0)
 		h.s.dev.Flush(h.slot)
@@ -220,13 +221,15 @@ func (h *Handle) clearSlot() {
 // Put stores val under key, inserting or replacing. The whole operation
 // is crash-atomic: after recovery the key maps to either the old or the
 // new value, and no record block is leaked either way.
+//
+//pmwcas:hotpath — server blob PUT: one staged record write plus the index publication loop
 func (h *Handle) Put(key, val []byte) error {
 	k, err := keycodec.Encode(key)
 	if err != nil {
 		return err
 	}
 	if len(val) > MaxValueLen {
-		return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(val))
+		return ErrValueTooLarge
 	}
 	rec, err := h.writeRecord(k, val)
 	if err != nil {
@@ -265,11 +268,22 @@ func (h *Handle) Put(key, val []byte) error {
 	}
 }
 
-// Get returns a copy of the value stored under key.
+// Get returns a copy of the value stored under key. It allocates the
+// copy; per-request loops should reuse a buffer through GetAppend.
 func (h *Handle) Get(key []byte) ([]byte, error) {
+	return h.GetAppend(key, nil)
+}
+
+// GetAppend appends the value stored under key to dst and returns the
+// extended slice (dst unchanged on error). The copy-out is unavoidable —
+// the record may be recycled the moment the guard drops — but the
+// destination buffer need not be fresh per call.
+//
+//pmwcas:hotpath — server blob GET; one record copy into a connection-owned scratch buffer, no other heap traffic
+func (h *Handle) GetAppend(key, dst []byte) ([]byte, error) {
 	k, err := keycodec.Encode(key)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	// The guard must span lookup AND record copy: a concurrent Put could
 	// otherwise recycle the record between the two.
@@ -278,22 +292,26 @@ func (h *Handle) Get(key []byte) ([]byte, error) {
 	defer g.Exit()
 	rec, err := h.lh.Get(k)
 	if err != nil {
-		return nil, ErrNotFound
+		return dst, ErrNotFound
 	}
-	return h.s.readRecord(nvram.Offset(rec)), nil
+	return h.s.appendRecord(dst, nvram.Offset(rec)), nil
 }
 
 // readRecord copies a record's payload out. Caller holds a guard.
 func (s *Store) readRecord(rec nvram.Offset) []byte {
+	return s.appendRecord(nil, rec)
+}
+
+// appendRecord appends a record's payload to dst. Caller holds a guard.
+func (s *Store) appendRecord(dst []byte, rec nvram.Offset) []byte {
 	n := int(s.dev.Load(rec + recLenOff))
-	out := make([]byte, n)
 	for i := 0; i < n; i += 8 {
 		w := s.dev.Load(rec + recDataOff + nvram.Offset(i))
 		for j := 0; j < 8 && i+j < n; j++ {
-			out[i+j] = byte(w >> (8 * j))
+			dst = append(dst, byte(w>>(8*j)))
 		}
 	}
-	return out
+	return dst
 }
 
 // Delete removes key; the record block is freed with the index node in

@@ -1,0 +1,34 @@
+package bwtree
+
+import (
+	"testing"
+
+	"pmwcas/internal/core"
+)
+
+// BenchmarkPointOps is the committed allocation budget for the Bw-tree's
+// annotated fast paths (BENCH_allocs.txt, gated by benchdiff -allocs in
+// CI): steady-state Update+Get against a preloaded tree. Updates post
+// deltas and periodically consolidate, so the measured figure includes
+// the amortized SMO cost the §6.3 waivers price in.
+func BenchmarkPointOps(b *testing.B) {
+	e := newTreeEnv(b, core.Persistent, SMOPMwCAS, nil)
+	h := e.tree.NewHandle()
+	const keys = 512
+	for k := uint64(1); k <= keys; k++ {
+		if err := h.Insert(k, k); err != nil {
+			b.Fatalf("preload %d: %v", k, err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%keys) + 1
+		if err := h.Update(k, uint64(i%1024)+1); err != nil {
+			b.Fatalf("update %d: %v", k, err)
+		}
+		if _, err := h.Get(k); err != nil {
+			b.Fatalf("get %d: %v", k, err)
+		}
+	}
+}

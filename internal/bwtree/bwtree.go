@@ -129,12 +129,19 @@ type Tree struct {
 // deferred garbage (hence allocator memory) would grow without bound.
 func (t *Tree) deferFree(head uint64) {
 	mgr := t.pool.Epochs()
-	mgr.Defer(func() { t.freeChain(head) })
+	mgr.DeferRetire(t, head, 0)
 	mgr.Advance()
 	if t.defers.Add(1)%32 == 0 {
+		//lint:allow hotpath — amortized epoch sweep, 1 in 32 defers; reclamation callbacks are off the per-op cost model (§6.3)
 		mgr.Collect()
 	}
 }
+
+// Retire implements epoch.Retiree: off is a retired chain head. The tree
+// registers itself with DeferRetire instead of a closure so scheduling
+// reclamation never heap-allocates (deferFree is on the //pmwcas:hotpath
+// proof).
+func (t *Tree) Retire(off, _ uint64) { t.freeChain(off) }
 
 // metaMagic marks an initialized tree in the meta region.
 const metaMagic = 0x42775472 // "BwTr"
@@ -286,11 +293,37 @@ type Handle struct {
 	core *core.Handle
 	ah   *alloc.Handle
 	lane metrics.Stripe
+
+	// Reused scratch, so the point-op fast paths stay allocation-free
+	// (//pmwcas:hotpath): pathBuf backs descend's ancestor stack, and
+	// viewRing backs resolve's materialized views round-robin. A
+	// pageView's entry slices are valid only until viewRingSize further
+	// resolve calls on the same handle; no code path holds more than a
+	// handful of views (merge holds four), and none holds one across a
+	// descend, which resolves once per level.
+	pathBuf  []pathEntry
+	viewRing [viewRingSize]viewBuf
+	viewIdx  int
 }
+
+// viewBuf is one reusable set of resolve buffers.
+type viewBuf struct {
+	deltas []nvram.Offset
+	leaf   []Entry
+	inner  []InnerEntry
+}
+
+// viewRingSize bounds how many pageViews resolved through one handle are
+// live at once (power of two for cheap wrap-around). The deepest holder
+// is maybeMerge: the caller's view plus parent, left, and right.
+const viewRingSize = 16
 
 // NewHandle creates a per-goroutine handle.
 func (t *Tree) NewHandle() *Handle {
-	return &Handle{tree: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle(), lane: metrics.NextStripe()}
+	return &Handle{
+		tree: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle(), lane: metrics.NextStripe(),
+		pathBuf: make([]pathEntry, 0, maxDescentDepth),
+	}
 }
 
 // readMapping reads a mapping word under the caller's guard, helping any
@@ -316,16 +349,19 @@ func (h *Handle) readMapping(lpid uint64) uint64 {
 	return h.core.ReadTraverse(h.tree.mappingOff(lpid))
 }
 
+// checkKey and checkValue return bare sentinels: both run first thing
+// in every point op on the //pmwcas:hotpath proof, where wrapping the
+// offending value with fmt.Errorf would allocate.
 func checkKey(key uint64) error {
 	if key == 0 || key >= MaxKey {
-		return fmt.Errorf("%w: %#x", ErrKeyRange, key)
+		return ErrKeyRange
 	}
 	return nil
 }
 
 func checkValue(v uint64) error {
 	if !core.IsClean(v) {
-		return fmt.Errorf("%w: %#x", ErrValueRange, v)
+		return ErrValueRange
 	}
 	return nil
 }

@@ -161,8 +161,13 @@ func (e *tenv) checkStructure(t *testing.T) {
 			t.Fatalf("inner %d is empty", lpid)
 		}
 		var keys []uint64
+		// Copy the routing entries before recursing: resolve recycles its
+		// view buffers per handle (Handle.viewRing), so the recursive
+		// walk below would overwrite v.innerEntries.
+		inner := append([]InnerEntry(nil), v.innerEntries...)
+		vHigh := v.high
 		childLow := v.low
-		for i, ent := range v.innerEntries {
+		for i, ent := range inner {
 			if ent.Key <= childLow && !(i == 0 && ent.Key == childLow) {
 				if ent.Key <= childLow {
 					t.Fatalf("inner %d separators not ascending at %d", lpid, i)
@@ -171,9 +176,9 @@ func (e *tenv) checkStructure(t *testing.T) {
 			keys = append(keys, walk(ent.Child, childLow, ent.Key, depth+1)...)
 			childLow = ent.Key
 		}
-		if v.innerEntries[len(v.innerEntries)-1].Key != v.high {
+		if inner[len(inner)-1].Key != vHigh {
 			t.Fatalf("inner %d last separator %d != high fence %d",
-				lpid, v.innerEntries[len(v.innerEntries)-1].Key, v.high)
+				lpid, inner[len(inner)-1].Key, vHigh)
 		}
 		return keys
 	}

@@ -160,12 +160,17 @@ func Check(dev *nvram.Device, mapping, meta nvram.Region) ([]nvram.Offset, []Ent
 		if len(v.innerEntries) == 0 {
 			return fmt.Errorf("bwtree: inner page %d has no routing entries", lpid)
 		}
+		// Copy the routing entries out of the view before recursing: the
+		// recursion resolves descendant pages through the same handle,
+		// and resolve recycles its view buffers ring-wise (Handle.viewRing),
+		// so v.innerEntries would be overwritten under us.
+		inner := append([]InnerEntry(nil), v.innerEntries...)
 		childLow := low
-		for i, e := range v.innerEntries {
+		for i, e := range inner {
 			if e.Key <= childLow || e.Key > high {
 				return fmt.Errorf("bwtree: inner %d routing key %#x outside (%#x,%#x]", lpid, e.Key, childLow, high)
 			}
-			if i == len(v.innerEntries)-1 && e.Key != high {
+			if i == len(inner)-1 && e.Key != high {
 				return fmt.Errorf("bwtree: inner %d last routing key %#x does not reach fence %#x", lpid, e.Key, high)
 			}
 			if err := descend(e.Child, childLow, e.Key, depth+1); err != nil {

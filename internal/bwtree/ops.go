@@ -29,6 +29,14 @@ type pathEntry struct {
 // than failing loudly.
 const maxDescentRestarts = 1000
 
+// maxDescentDepth bounds a single descent (and sizes Handle.pathBuf); a
+// deeper walk means a routing cycle, and the descent restarts.
+const maxDescentDepth = 64
+
+// errDescentDiverged is a sentinel (descend is on the //pmwcas:hotpath
+// proof, where constructing an error would allocate).
+var errDescentDiverged = errors.New("bwtree: descent did not converge (structure corrupt?)")
+
 // descend walks from the root to the leaf covering key, helping
 // in-flight baseline splits along the way, and returns the inner-page
 // path, the leaf's LPID, and the resolved leaf view.
@@ -41,9 +49,13 @@ restart:
 		if attempt > 0 {
 			mDescendRestarts.Inc(h.lane)
 		}
-		var path []pathEntry
+		// The ancestor stack lives in the handle's preallocated scratch:
+		// a nil-append here would heap-allocate on every descend. The
+		// slice is valid until the next descend on this handle; maintain
+		// consumes it before then.
+		path := h.pathBuf[:0]
 		lpid := uint64(RootLPID)
-		for depth := 0; depth < 64; depth++ {
+		for depth := 0; depth < maxDescentDepth; depth++ {
 			head := h.readMapping(lpid)
 			if head == 0 {
 				continue restart // LPID died (merge) between route and read
@@ -81,10 +93,12 @@ restart:
 		}
 		continue restart // implausible depth: restart defensively
 	}
-	return nil, 0, pageView{}, errors.New("bwtree: descent did not converge (structure corrupt?)")
+	return nil, 0, pageView{}, errDescentDiverged
 }
 
 // Get returns the value stored under key.
+//
+//pmwcas:hotpath — Bw-tree point lookup; delta-chain traffic must stay on NVRAM, not the Go heap — amortized consolidation pinned by the -benchmem gate
 func (h *Handle) Get(key uint64) (uint64, error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
@@ -110,16 +124,22 @@ func (h *Handle) Contains(key uint64) bool {
 }
 
 // Insert adds key/value; ErrKeyExists if present.
+//
+//pmwcas:hotpath — Bw-tree point insert; delta-chain traffic must stay on NVRAM, not the Go heap — amortized consolidation pinned by the -benchmem gate
 func (h *Handle) Insert(key, value uint64) error {
 	return h.write(key, value, recInsert)
 }
 
 // Update replaces the value under key; ErrNotFound if absent.
+//
+//pmwcas:hotpath — Bw-tree point update; delta-chain traffic must stay on NVRAM, not the Go heap — amortized consolidation pinned by the -benchmem gate
 func (h *Handle) Update(key, value uint64) error {
 	return h.write(key, value, recUpdate)
 }
 
 // Delete removes key; ErrNotFound if absent.
+//
+//pmwcas:hotpath — Bw-tree point delete; delta-chain traffic must stay on NVRAM, not the Go heap — amortized consolidation pinned by the -benchmem gate
 func (h *Handle) Delete(key uint64) error {
 	return h.write(key, 0, recDelete)
 }
@@ -208,7 +228,8 @@ func (h *Handle) writeOnce(key, value, typ uint64) error {
 }
 
 // Scan visits keys in [from, to] ascending, following leaf side links.
-// fn returning false stops the scan.
+// fn returning false stops the scan. fn runs under the scan's epoch
+// guard and must not block.
 func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
 	if err := checkKey(from); err != nil {
 		return err
@@ -232,6 +253,7 @@ func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
 			if e.Key > to {
 				return nil
 			}
+			//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 			if !fn(e) {
 				return nil
 			}

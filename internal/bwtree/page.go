@@ -2,7 +2,6 @@ package bwtree
 
 import (
 	"fmt"
-	"sort"
 
 	"pmwcas/internal/alloc"
 	"pmwcas/internal/core"
@@ -136,13 +135,49 @@ type pageView struct {
 	innerEntries []InnerEntry // resolved inner content (sorted), nil for leaf
 }
 
+// leafSearch returns the first index i with es[i].Key >= key (or > key
+// when excl). Hand-rolled because sort.Search's func-value argument is a
+// closure the compiler heap-allocates at every call, and these searches
+// sit inside resolve's delta replay on the //pmwcas:hotpath proof.
+func leafSearch(es []Entry, key uint64, excl bool) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if k := es[mid].Key; k < key || (excl && k == key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// innerSearch is leafSearch over routing entries.
+func innerSearch(es []InnerEntry, key uint64, excl bool) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if k := es[mid].Key; k < key || (excl && k == key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // resolve materializes the logical view of a chain. It walks the chain
 // once, collecting deltas, then replays them oldest-first over the base.
 // O(chain + count); chains are kept short by consolidation.
 func (h *Handle) resolve(head uint64) pageView {
 	t := h.tree
 	v := pageView{head: nvram.Offset(head)}
-	var deltas []nvram.Offset
+	// Materialize into the handle's ring scratch (see Handle.viewRing):
+	// resolve runs on every level of every descend, so per-call makes
+	// here would dominate the point ops' allocation profile.
+	b := &h.viewRing[h.viewIdx&(viewRingSize-1)]
+	h.viewIdx++
+	deltas := b.deltas[:0]
 	rec := nvram.Offset(head)
 	for {
 		typ := t.recType(rec)
@@ -158,6 +193,7 @@ func (h *Handle) resolve(head uint64) pageView {
 		deltas = append(deltas, rec)
 		rec = nvram.Offset(t.recNext(rec))
 	}
+	b.deltas = deltas
 	v.chain = len(deltas)
 	v.low = t.dev.Load(v.base + baseLowOff)
 	v.high = t.dev.Load(v.base + baseHighOff)
@@ -165,13 +201,21 @@ func (h *Handle) resolve(head uint64) pageView {
 
 	n := t.recCount(v.base)
 	if v.isLeaf {
-		v.leafEntries = make([]Entry, 0, n+len(deltas))
+		// Upper bound on growth: each delta adds at most one entry, so
+		// replay can never outgrow the reservation and reallocate.
+		if cap(b.leaf) < n+len(deltas) {
+			b.leaf = make([]Entry, 0, n+len(deltas))
+		}
+		v.leafEntries = b.leaf[:0]
 		for i := 0; i < n; i++ {
 			e := t.entryOff(v.base, i)
 			v.leafEntries = append(v.leafEntries, Entry{t.dev.Load(e), t.dev.Load(e + 8)})
 		}
 	} else {
-		v.innerEntries = make([]InnerEntry, 0, n+2*len(deltas))
+		if cap(b.inner) < n+2*len(deltas) {
+			b.inner = make([]InnerEntry, 0, n+2*len(deltas))
+		}
+		v.innerEntries = b.inner[:0]
 		for i := 0; i < n; i++ {
 			e := t.entryOff(v.base, i)
 			v.innerEntries = append(v.innerEntries, InnerEntry{t.dev.Load(e), t.dev.Load(e + 8)})
@@ -207,7 +251,7 @@ func (h *Handle) resolve(head uint64) pageView {
 
 // applyLeafPut inserts or replaces a key in the resolved view.
 func (v *pageView) applyLeafPut(key, val uint64) {
-	i := sort.Search(len(v.leafEntries), func(i int) bool { return v.leafEntries[i].Key >= key })
+	i := leafSearch(v.leafEntries, key, false)
 	if i < len(v.leafEntries) && v.leafEntries[i].Key == key {
 		v.leafEntries[i].Value = val
 		return
@@ -218,7 +262,7 @@ func (v *pageView) applyLeafPut(key, val uint64) {
 }
 
 func (v *pageView) applyLeafDelete(key uint64) {
-	i := sort.Search(len(v.leafEntries), func(i int) bool { return v.leafEntries[i].Key >= key })
+	i := leafSearch(v.leafEntries, key, false)
 	if i < len(v.leafEntries) && v.leafEntries[i].Key == key {
 		v.leafEntries = append(v.leafEntries[:i], v.leafEntries[i+1:]...)
 	}
@@ -230,10 +274,10 @@ func (v *pageView) applySplit(sep, sibling uint64) {
 	v.hasSplit, v.splitSep, v.splitSibling = true, sep, sibling
 	v.preSplitHigh = v.high
 	if v.isLeaf {
-		i := sort.Search(len(v.leafEntries), func(i int) bool { return v.leafEntries[i].Key > sep })
+		i := leafSearch(v.leafEntries, sep, true)
 		v.leafEntries = v.leafEntries[:i]
 	} else {
-		i := sort.Search(len(v.innerEntries), func(i int) bool { return v.innerEntries[i].Key > sep })
+		i := innerSearch(v.innerEntries, sep, true)
 		v.innerEntries = v.innerEntries[:i]
 	}
 	v.high = sep
@@ -245,7 +289,7 @@ func (v *pageView) applySplit(sep, sibling uint64) {
 // the delta for layout fidelity with the paper's (Kp, Kq) description
 // but is implied by the preceding entry during replay.
 func (v *pageView) applyIndexEntry(_, mid, high, left, right uint64) {
-	i := sort.Search(len(v.innerEntries), func(i int) bool { return v.innerEntries[i].Key >= high })
+	i := innerSearch(v.innerEntries, high, false)
 	if i == len(v.innerEntries) || v.innerEntries[i].Key != high {
 		// The covered entry is gone (e.g., truncated by a later split
 		// replay); the delta is a no-op for this view.
@@ -260,8 +304,8 @@ func (v *pageView) applyIndexEntry(_, mid, high, left, right uint64) {
 // applyIndexDelete collapses all routing entries in (low, high] into one
 // entry high -> child (page merge at the parent).
 func (v *pageView) applyIndexDelete(low, high, child uint64) {
-	lo := sort.Search(len(v.innerEntries), func(i int) bool { return v.innerEntries[i].Key > low })
-	hi := sort.Search(len(v.innerEntries), func(i int) bool { return v.innerEntries[i].Key >= high })
+	lo := innerSearch(v.innerEntries, low, true)
+	hi := innerSearch(v.innerEntries, high, false)
 	if hi == len(v.innerEntries) || v.innerEntries[hi].Key != high {
 		return
 	}
@@ -271,7 +315,7 @@ func (v *pageView) applyIndexDelete(low, high, child uint64) {
 
 // route returns the child LPID covering key in an inner view.
 func (v *pageView) route(key uint64) (uint64, bool) {
-	i := sort.Search(len(v.innerEntries), func(i int) bool { return v.innerEntries[i].Key >= key })
+	i := innerSearch(v.innerEntries, key, false)
 	if i == len(v.innerEntries) {
 		return 0, false
 	}
@@ -280,7 +324,7 @@ func (v *pageView) route(key uint64) (uint64, bool) {
 
 // get looks a key up in a leaf view.
 func (v *pageView) get(key uint64) (uint64, bool) {
-	i := sort.Search(len(v.leafEntries), func(i int) bool { return v.leafEntries[i].Key >= key })
+	i := leafSearch(v.leafEntries, key, false)
 	if i < len(v.leafEntries) && v.leafEntries[i].Key == key {
 		return v.leafEntries[i].Value, true
 	}

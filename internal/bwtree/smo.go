@@ -211,13 +211,11 @@ func (h *Handle) collapseRoot(v *pageView) bool {
 	if err != nil {
 		return false
 	}
-	abort := func() { _ = d.Discard() }
-
 	// Root takes over the child's resolved content; the old root chain
 	// and the child's whole chain are freed on success.
 	fR, err := d.ReserveEntry(t.mappingOff(RootLPID), uint64(v.head), core.PolicyFreeOne)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if cv.isLeaf {
@@ -226,16 +224,16 @@ func (h *Handle) collapseRoot(v *pageView) bool {
 		_, err = buildInnerInto(t, h.ah, cv.innerEntries, cv.low, cv.high, cv.side, fR)
 	}
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	fC, err := d.ReserveEntry(t.mappingOff(childLPID), childHead, core.PolicyFreeOne)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if _, err := buildRemovedMarker(t, h.ah, fC); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	ok, _ := d.Execute()
@@ -252,6 +250,7 @@ func (h *Handle) consolidate(lpid uint64, v *pageView) (did bool) {
 		return false
 	}
 	t0 := smoStart()
+	//lint:allow hotpath — SMO timing closure; consolidation is amortized maintenance triggered past chain/size thresholds, its cost pinned by the -benchmem gate, not the per-op proof (§6.3)
 	defer func() { h.observeSMO(mConsolidateNs, t0, did) }()
 	if t.smo == SMOSingleCAS {
 		return h.consolidateCAS(lpid, v)
@@ -291,6 +290,7 @@ func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 		return false // split only consolidated pages; maintenance will return
 	}
 	t0 := smoStart()
+	//lint:allow hotpath — SMO timing closure; a split is amortized maintenance triggered past chain/size thresholds, its cost pinned by the -benchmem gate, not the per-op proof (§6.3)
 	defer func() { h.observeSMO(mSplitNs, t0, did) }()
 	t := h.tree
 	size := len(v.leafEntries) + len(v.innerEntries)
@@ -328,38 +328,36 @@ func (h *Handle) split(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 	if err != nil {
 		return false
 	}
-	abort := func() { _ = d.Discard() }
-
 	// Sibling Q takes the upper half.
 	fQ, err := d.ReserveEntry(t.mappingOff(qLPID), 0, core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if _, err := buildUpperHalf(t, h.ah, v, sep, fQ); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	// Split delta on P.
 	fP, err := d.ReserveEntry(t.mappingOff(lpid), uint64(v.head), core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if _, err := buildSplitDelta(t, h.ah, sep, qLPID, uint64(v.head), v.chain+1, fP); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	// Index-entry delta on the parent.
 	fO, err := d.ReserveEntry(t.mappingOff(parent.lpid), parent.head, core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	parentChain := t.recChain(nvram.Offset(parent.head))
 	if _, err := buildIndexEntryDelta(t, h.ah, v.low, sep, v.high, lpid, qLPID,
 		parent.head, parentChain+1, fO); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	ok, _ := d.Execute()
@@ -385,34 +383,33 @@ func (h *Handle) splitRoot(v *pageView, sep uint64) {
 	if err != nil {
 		return
 	}
-	abort := func() { _ = d.Discard() }
-
 	fQ, err := d.ReserveEntry(t.mappingOff(q), 0, core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
 	if _, err := buildUpperHalf(t, h.ah, v, sep, fQ); err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
 	fP2, err := d.ReserveEntry(t.mappingOff(p2), 0, core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
 	if _, err := buildSplitDelta(t, h.ah, sep, q, uint64(v.head), v.chain+1, fP2); err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
 	fR, err := d.ReserveEntry(t.mappingOff(RootLPID), uint64(v.head), core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
+	//lint:allow hotpath — root split happens O(log N) times over the tree's whole life; a two-entry scratch slice there is noise (§6.3)
 	entries := []InnerEntry{{Key: sep, Child: p2}, {Key: v.high, Child: q}}
 	if _, err := buildInnerInto(t, h.ah, entries, v.low, v.high, 0, fR); err != nil {
-		abort()
+		_ = d.Discard()
 		return
 	}
 	d.Execute()
@@ -447,6 +444,7 @@ func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 		return false
 	}
 	t0 := smoStart()
+	//lint:allow hotpath — SMO timing closure; a merge is amortized maintenance triggered past chain/size thresholds, its cost pinned by the -benchmem gate, not the per-op proof (§6.3)
 	defer func() { h.observeSMO(mMergeNs, t0, did) }()
 	parent := path[len(path)-1]
 	pv := h.resolve(parent.head)
@@ -489,36 +487,36 @@ func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 	if err != nil {
 		return false
 	}
-	abort := func() { _ = d.Discard() }
-
 	// The left page absorbs both; its old chain is freed on success.
 	fL, err := d.ReserveEntry(t.mappingOff(leftLPID), lHead, core.PolicyFreeOne)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if lv.isLeaf {
+		//lint:allow hotpath — merge is the rarest SMO (underflow after deletes); its scratch is amortized away, pinned by the -benchmem gate (§6.3)
 		merged := make([]Entry, 0, len(lv.leafEntries)+len(rv.leafEntries))
 		merged = append(merged, lv.leafEntries...)
 		merged = append(merged, rv.leafEntries...)
 		if len(merged) > t.leafCap {
-			abort()
+			_ = d.Discard()
 			return false // would immediately re-split
 		}
 		if _, err := buildLeafInto(t, h.ah, merged, lv.low, rv.high, rv.side, fL); err != nil {
-			abort()
+			_ = d.Discard()
 			return false
 		}
 	} else {
+		//lint:allow hotpath — merge is the rarest SMO (underflow after deletes); its scratch is amortized away, pinned by the -benchmem gate (§6.3)
 		merged := make([]InnerEntry, 0, len(lv.innerEntries)+len(rv.innerEntries))
 		merged = append(merged, lv.innerEntries...)
 		merged = append(merged, rv.innerEntries...)
 		if len(merged) > t.innerCap {
-			abort()
+			_ = d.Discard()
 			return false
 		}
 		if _, err := buildInnerInto(t, h.ah, merged, lv.low, rv.high, rv.side, fL); err != nil {
-			abort()
+			_ = d.Discard()
 			return false
 		}
 	}
@@ -526,23 +524,23 @@ func (h *Handle) merge(path []pathEntry, lpid uint64, v *pageView) (did bool) {
 	// success, the marker on failure.
 	fR, err := d.ReserveEntry(t.mappingOff(rightLPID), rHead, core.PolicyFreeOne)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	if _, err := buildRemovedMarker(t, h.ah, fR); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	// Parent: collapse the two routing entries into one.
 	fO, err := d.ReserveEntry(t.mappingOff(parent.lpid), parent.head, core.PolicyFreeNewOnFailure)
 	if err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	parentChain := t.recChain(nvram.Offset(parent.head))
 	if _, err := buildIndexDeleteDelta(t, h.ah, lv.low, rv.high, leftLPID,
 		parent.head, parentChain+1, fO); err != nil {
-		abort()
+		_ = d.Discard()
 		return false
 	}
 	ok, _ := d.Execute()

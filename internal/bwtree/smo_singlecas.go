@@ -122,6 +122,7 @@ func (h *Handle) splitRootCAS(v *pageView, sep uint64) {
 		_ = t.alloc.Free(splitD)
 		return
 	}
+	//lint:allow hotpath — root split happens O(log N) times over the tree's whole life; a two-entry scratch slice there is noise (§6.3)
 	entries := []InnerEntry{{Key: sep, Child: p2}, {Key: v.high, Child: q}}
 	newRoot, err := buildInnerInto(t, h.ah, entries, v.low, v.high, 0, scratchWord)
 	if err != nil {

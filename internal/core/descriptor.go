@@ -67,6 +67,11 @@ const (
 	metaParentShift = 8
 )
 
+// MaxWordsPerDescriptor bounds Config.WordsPerDescriptor. Beyond keeping
+// the countMask honest, the constant sizes the stack arrays the execute
+// path uses instead of heap slices (installOrder's sort scratch).
+const MaxWordsPerDescriptor = 64
+
 // descSize returns the padded byte size of a descriptor with capacity k.
 func descSize(k int) uint64 {
 	n := uint64(descWordsOff + k*wordStride)
@@ -105,8 +110,9 @@ type Config struct {
 	// DescriptorCount is the number of descriptors in the pool. The paper
 	// sizes this as a small multiple of the worker thread count.
 	DescriptorCount int
-	// WordsPerDescriptor is the fixed capacity of each descriptor. The
-	// paper observes a handful (<= 4) suffices for non-trivial structures.
+	// WordsPerDescriptor is the fixed capacity of each descriptor, at
+	// most MaxWordsPerDescriptor. The paper observes a handful (<= 4)
+	// suffices for non-trivial structures.
 	WordsPerDescriptor int
 	// Mode selects Persistent (PMwCAS) or Volatile (MwCAS).
 	Mode Mode
@@ -140,6 +146,13 @@ type Pool struct {
 	freeMu   sync.Mutex
 	freeList []int // descriptor indexes ready for reuse
 
+	// descs holds one volatile Descriptor struct per pool slot, recycled
+	// in lockstep with the slot itself: AllocateDescriptor hands out
+	// &descs[idx] reinitialized, so acquiring a descriptor never
+	// heap-allocates. The aliasing is safe because takeIndex grants
+	// exclusive ownership of idx until retire returns it.
+	descs []Descriptor
+
 	callbackMu sync.RWMutex
 	callbacks  map[uint16]FinalizeFunc
 
@@ -165,8 +178,8 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.DescriptorCount <= 0 {
 		return nil, fmt.Errorf("core: DescriptorCount must be positive, got %d", cfg.DescriptorCount)
 	}
-	if cfg.WordsPerDescriptor <= 0 || cfg.WordsPerDescriptor > 64 {
-		return nil, fmt.Errorf("core: WordsPerDescriptor must be in [1,64], got %d", cfg.WordsPerDescriptor)
+	if cfg.WordsPerDescriptor <= 0 || cfg.WordsPerDescriptor > MaxWordsPerDescriptor {
+		return nil, fmt.Errorf("core: WordsPerDescriptor must be in [1,%d], got %d", MaxWordsPerDescriptor, cfg.WordsPerDescriptor)
 	}
 	need := PoolSize(cfg.DescriptorCount, cfg.WordsPerDescriptor)
 	if cfg.Region.Len < need {
@@ -188,6 +201,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		nDesc:     cfg.DescriptorCount,
 		kWord:     cfg.WordsPerDescriptor,
 		size:      descSize(cfg.WordsPerDescriptor),
+		descs:     make([]Descriptor, cfg.DescriptorCount),
 		callbacks: make(map[uint16]FinalizeFunc),
 	}
 	if cfg.Mode == Persistent {
@@ -267,6 +281,7 @@ func (p *Pool) RegisterCallback(id uint16, fn FinalizeFunc) error {
 }
 
 func (p *Pool) callback(id uint16) FinalizeFunc {
+	//lint:allow nonblock — read-locked map lookup of a registered finalizer; registration is startup-only (§6.3)
 	p.callbackMu.RLock()
 	defer p.callbackMu.RUnlock()
 	return p.callbacks[id]
@@ -381,6 +396,7 @@ func (h *Handle) Pool() *Pool { return h.pool }
 func (h *Handle) takeIndex() int {
 	if len(h.cache) == 0 {
 		p := h.pool
+		//lint:allow nonblock — bounded batch refill of the private descriptor cache; no I/O under the lock (§6.3)
 		p.freeMu.Lock()
 		n := len(p.freeList)
 		take := handleCacheSize
@@ -400,6 +416,7 @@ func (h *Handle) takeIndex() int {
 }
 
 func (p *Pool) releaseIndex(i int) {
+	//lint:allow nonblock — bounded free-list push; no I/O under the lock (§6.3)
 	p.freeMu.Lock()
 	p.freeList = append(p.freeList, i)
 	p.freeMu.Unlock()
@@ -417,6 +434,7 @@ var ErrPoolExhausted = errors.New("core: descriptor pool exhausted")
 // held, advance the epoch, sweep the garbage list, and yield.
 func (p *Pool) ReclaimPause() {
 	p.mgr.Advance()
+	//lint:allow hotpath — contention/exhaustion backoff, not the per-op path; the sweep's finalizers are off the cost model (§6.3)
 	p.mgr.Collect()
 	runtime.Gosched()
 }
@@ -425,12 +443,15 @@ func (p *Pool) ReclaimPause() {
 // (paper §2.2). The optional callbackID selects a registered finalize
 // callback invoked when the operation's memory is recycled; 0 means the
 // default policy-based finalizer.
+//
+//pmwcas:hotpath — descriptor acquisition brackets every PMwCAS; pooled slots exist precisely so this never heap-allocates
 func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
 	h.pool.checkPoisoned()
 	idx := h.takeIndex()
 	if idx < 0 {
 		// Reclamation may simply be lagging: push the epoch and retry once.
 		h.pool.mgr.Advance()
+		//lint:allow hotpath — exhaustion-recovery sweep, not the per-op path; runs only when the free list is empty (§6.3)
 		h.pool.mgr.Collect()
 		if idx = h.takeIndex(); idx < 0 {
 			mPoolExhausted.Inc(h.lane)
@@ -449,12 +470,18 @@ func (h *Handle) AllocateDescriptor(callbackID uint16) (*Descriptor, error) {
 	// zeroed it persistently; initialize the volatile view only.
 	p.dev.Store(d+descCountOff, uint64(callbackID)<<callbackShift)
 	p.stats.allocated.Add(1)
-	return &Descriptor{h: h, off: d, idx: idx}, nil
+	ds := &p.descs[idx]
+	*ds = Descriptor{h: h, off: d, idx: idx}
+	return ds, nil
 }
 
 // A Descriptor is the volatile handle to one in-NVRAM PMwCAS descriptor
 // between AllocateDescriptor and Execute/Discard. It is single-owner:
-// only the allocating handle's goroutine may call its methods.
+// only the allocating handle's goroutine may call its methods. The
+// struct itself is pooled per slot and recycled once the operation's
+// epoch retires, so a *Descriptor retained past Execute/Discard must
+// not be used again — the done flag catches immediate reuse, but after
+// the slot is re-issued the pointer aliases the next operation.
 type Descriptor struct {
 	h    *Handle
 	off  nvram.Offset
@@ -473,9 +500,16 @@ var (
 	ErrFlagBits         = errors.New("core: operand carries reserved flag bits")
 	ErrDescriptorDone   = errors.New("core: descriptor already executed or discarded")
 	ErrAddressNotFound  = errors.New("core: address not in descriptor")
+	ErrBadAddress       = errors.New("core: bad target address")
+	ErrEmptyDescriptor  = errors.New("core: executing empty descriptor")
 )
 
-func (d *Descriptor) checkAddable(addr nvram.Offset, vals ...uint64) error {
+// checkAddable validates the first nvals of vals for a new entry. It
+// takes a fixed-size array rather than a variadic slice, and returns
+// plain sentinels rather than fmt.Errorf wrappers: both sit on the
+// AddWord/ReserveEntry hot path, where a variadic call or an error
+// allocation is a per-entry heap tax.
+func (d *Descriptor) checkAddable(addr nvram.Offset, vals [2]uint64, nvals int) error {
 	if d.done {
 		return ErrDescriptorDone
 	}
@@ -483,17 +517,17 @@ func (d *Descriptor) checkAddable(addr nvram.Offset, vals ...uint64) error {
 		return ErrDescriptorFull
 	}
 	if !offsetOK(addr) || addr%nvram.WordSize != 0 {
-		return fmt.Errorf("core: bad target address %#x", addr)
+		return ErrBadAddress
 	}
-	for _, v := range vals {
+	for _, v := range vals[:nvals] {
 		if !IsClean(v) {
-			return fmt.Errorf("%w: %#x", ErrFlagBits, v)
+			return ErrFlagBits
 		}
 	}
 	p := d.h.pool
 	for i := 0; i < d.n; i++ {
 		if p.dev.Load(wordOff(d.off, i)+wordAddrOff) == addr {
-			return fmt.Errorf("%w: %#x", ErrDuplicateAddress, addr)
+			return ErrDuplicateAddress
 		}
 	}
 	return nil
@@ -517,6 +551,8 @@ func (d *Descriptor) bumpCount() {
 
 // AddWord specifies one word to modify: compare against old, install new
 // (paper §2.2). No memory recycling is associated with the word.
+//
+//pmwcas:hotpath — called up to four times per PMwCAS to stage entries; allocation-free staging keeps Execute's cost model honest
 func (d *Descriptor) AddWord(addr nvram.Offset, old, new uint64) error {
 	return d.AddWordWithPolicy(addr, old, new, PolicyNone)
 }
@@ -526,7 +562,7 @@ func (d *Descriptor) AddWord(addr nvram.Offset, old, new uint64) error {
 // e.g., PolicyFreeOldOnSuccess when unlinking a node whose address is
 // already in hand.
 func (d *Descriptor) AddWordWithPolicy(addr nvram.Offset, old, new uint64, policy Policy) error {
-	if err := d.checkAddable(addr, old, new); err != nil {
+	if err := d.checkAddable(addr, [2]uint64{old, new}, 2); err != nil {
 		return err
 	}
 	d.writeEntry(d.n, addr, old, new, policy)
@@ -545,7 +581,7 @@ func (d *Descriptor) AddWordWithPolicy(addr nvram.Offset, old, new uint64, polic
 // entries and count before returning — the entry must be durable before
 // memory is delivered into it.
 func (d *Descriptor) ReserveEntry(addr nvram.Offset, old uint64, policy Policy) (nvram.Offset, error) {
-	if err := d.checkAddable(addr, old); err != nil {
+	if err := d.checkAddable(addr, [2]uint64{old, 0}, 1); err != nil {
 		return 0, err
 	}
 	d.writeEntry(d.n, addr, old, 0, policy)
@@ -617,16 +653,23 @@ func (p *Pool) retire(d nvram.Offset, idx int, succeeded bool) {
 		aux = 1
 	}
 	metrics.DefaultTrace().Record(metrics.TraceRetire, uint64(d), metrics.StripeAt(idx), aux)
-	p.mgr.Defer(func() {
-		p.finalize(d, succeeded)
-		p.releaseIndex(idx)
-	})
+	p.mgr.DeferRetire(p, uint64(d), uint64(idx)<<1|aux)
 	// Advance eagerly (it is one atomic add) so garbage ages past active
 	// guards quickly; sweep the list periodically.
 	p.mgr.Advance()
 	if p.retires.Add(1)%32 == 0 {
+		//lint:allow hotpath — amortized epoch sweep, 1 in 32 retires; the finalizers it runs are off the per-op cost model (§6.3)
 		p.mgr.Collect()
 	}
+}
+
+// Retire implements epoch.Retiree for concluded descriptors: off is the
+// descriptor's NVRAM offset, aux packs the slot index (high bits) and
+// the success bit (bit 0). The pool registers itself with DeferRetire
+// instead of a closure so the retire path never heap-allocates.
+func (p *Pool) Retire(off, aux uint64) {
+	p.finalize(nvram.Offset(off), aux&1 != 0)
+	p.releaseIndex(int(aux >> 1))
 }
 
 // finalize applies recycling policies (or the registered callback), then

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -22,12 +20,14 @@ import (
 // operation is durably committed.
 //
 // After Execute the descriptor is consumed; using it again is an error.
+//
+//pmwcas:hotpath — the install path of every PMwCAS; one allocation here is a per-operation tax on all five structures
 func (d *Descriptor) Execute() (bool, error) {
 	if d.done {
 		return false, ErrDescriptorDone
 	}
 	if d.n == 0 {
-		return false, fmt.Errorf("core: executing empty descriptor")
+		return false, ErrEmptyDescriptor
 	}
 	d.done = true
 	p := d.h.pool
@@ -108,22 +108,30 @@ func (d *Descriptor) Execute() (bool, error) {
 	return ok, nil
 }
 
-// installOrder returns the descriptor's entry indexes sorted by target
-// address. Every thread — owner or helper — computes the same order, so
-// all Phase-1 acquisitions happen in one global order and overlapping
-// operations cannot deadlock each other's help chains (§2.2). The order
-// lives only on this thread's stack; the durable entries never move,
-// which keeps torn-flush recovery sound.
-func (p *Pool) installOrder(mdesc nvram.Offset, n int) []int {
-	order := make([]int, n)
-	for i := range order {
+// installOrder fills order[:n] with the descriptor's entry indexes
+// sorted by target address. Every thread — owner or helper — computes
+// the same order, so all Phase-1 acquisitions happen in one global order
+// and overlapping operations cannot deadlock each other's help chains
+// (§2.2). The order lives only on this thread's stack (the caller's
+// fixed array; no make, no sort.Slice closure — exec is on the
+// //pmwcas:hotpath proof); the durable entries never move, which keeps
+// torn-flush recovery sound. Insertion sort: n is at most
+// MaxWordsPerDescriptor and in practice ≤ 4, where quadratic beats the
+// sort package's interface machinery outright.
+func (p *Pool) installOrder(mdesc nvram.Offset, n int, order *[MaxWordsPerDescriptor]int) {
+	for i := 0; i < n; i++ {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return p.dev.Load(wordOff(mdesc, order[a])+wordAddrOff) <
-			p.dev.Load(wordOff(mdesc, order[b])+wordAddrOff)
-	})
-	return order
+	for i := 1; i < n; i++ {
+		key := order[i]
+		ka := p.dev.Load(wordOff(mdesc, key) + wordAddrOff)
+		j := i - 1
+		for j >= 0 && p.dev.Load(wordOff(mdesc, order[j])+wordAddrOff) > ka {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = key
+	}
 }
 
 // exec is the cooperative core of Algorithm 2, runnable by the owner and
@@ -145,8 +153,10 @@ func (p *Pool) exec(mdesc nvram.Offset, helping bool, o *opObs) bool {
 	// in global address order.
 	if p.readStatus(mdesc) == StatusUndecided {
 		st := StatusSucceeded
+		var order [MaxWordsPerDescriptor]int
+		p.installOrder(mdesc, n, &order)
 	words:
-		for _, i := range p.installOrder(mdesc, n) {
+		for _, i := range order[:n] {
 			w := wordOff(mdesc, i)
 			addr := p.dev.Load(w + wordAddrOff)
 			old := p.dev.Load(w + wordOldOff)
@@ -312,6 +322,8 @@ func (p *Pool) helpCompleteInstall(wdesc nvram.Offset) {
 //
 // The caller's epoch guard is entered for the duration (helping may
 // dereference descriptors).
+//
+//pmwcas:hotpath — the read path of every index probe; must not allocate even when helping a stalled install
 func (h *Handle) Read(addr nvram.Offset) uint64 {
 	h.pool.checkPoisoned()
 	h.guard.Enter()
@@ -369,6 +381,8 @@ func FlushElisionEnabled() bool { return !noElide.Load() }
 // keeps its recovery guarantees.
 //
 // The caller's epoch guard is entered for the duration.
+//
+//pmwcas:hotpath — traversal reads dominate index descends; flush-elided and allocation-free by design
 func (h *Handle) ReadTraverse(addr nvram.Offset) uint64 {
 	h.pool.checkPoisoned()
 	h.guard.Enter()

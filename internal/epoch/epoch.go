@@ -77,6 +77,19 @@ type deferred struct {
 	epoch uint64
 	at    int64 // UnixNano at Defer, 0 when metrics were off
 	fn    Callback
+	// Closure-free alternative (DeferRetire): when fn is nil, Collect
+	// calls r.Retire(off, aux) instead.
+	r        Retiree
+	off, aux uint64
+}
+
+// Retiree is the closure-free form of Defer, for callers on
+// //pmwcas:hotpath fast paths: a closure capturing locals heap-allocates
+// at every retire, while an interface holding an existing pointer plus
+// two plain words does not. Implementations receive back exactly the two
+// words stashed at DeferRetire time.
+type Retiree interface {
+	Retire(off, aux uint64)
 }
 
 // NewManager creates a manager with the epoch clock at 1.
@@ -151,8 +164,25 @@ func (m *Manager) Defer(fn Callback) {
 	if metrics.On() {
 		at = time.Now().UnixNano()
 	}
+	//lint:allow nonblock — bounded append to the deferred list; Collect detaches under the same lock but runs callbacks outside it (§6.3)
 	m.gmu.Lock()
 	m.garbage = append(m.garbage, deferred{epoch: e, at: at, fn: fn})
+	m.gmu.Unlock()
+	m.deferred.Add(1)
+}
+
+// DeferRetire is Defer without the closure: when the object ages out,
+// r.Retire(off, aux) runs instead of a captured function. Hot retire
+// paths use it so that deferring reclamation never heap-allocates.
+func (m *Manager) DeferRetire(r Retiree, off, aux uint64) {
+	e := m.global.Load()
+	var at int64
+	if metrics.On() {
+		at = time.Now().UnixNano()
+	}
+	//lint:allow nonblock — bounded append to the deferred list; Collect detaches under the same lock but runs callbacks outside it (§6.3)
+	m.gmu.Lock()
+	m.garbage = append(m.garbage, deferred{epoch: e, at: at, r: r, off: off, aux: aux})
 	m.gmu.Unlock()
 	m.deferred.Add(1)
 }
@@ -161,6 +191,7 @@ func (m *Manager) Defer(fn Callback) {
 // or ^0 if every guard is idle.
 func (m *Manager) minProtected() uint64 {
 	min := ^uint64(0)
+	//lint:allow nonblock — bounded scan of the guard list; no I/O, no nesting under the lock (§6.3)
 	m.mu.Lock()
 	for _, g := range m.guards {
 		if e := g.epoch.Load(); e != idle && e < min {
@@ -181,6 +212,7 @@ func (m *Manager) Collect() int {
 	// Detach the reclaimable prefix under the lock, run callbacks outside
 	// it: a callback may itself Defer (e.g., a destructor retiring a child
 	// object) without self-deadlock.
+	//lint:allow nonblock — bounded detach of the reclaimable prefix; callbacks run after Unlock (§6.3)
 	m.gmu.Lock()
 	i := 0
 	for i < len(m.garbage) && m.garbage[i].epoch < safeBelow {
@@ -199,7 +231,11 @@ func (m *Manager) Collect() int {
 		}
 	}
 	for _, d := range ready {
-		d.fn()
+		if d.fn != nil {
+			d.fn()
+		} else {
+			d.r.Retire(d.off, d.aux)
+		}
 	}
 	mCollects.Inc(metrics.StripeAt(int(safeBelow)))
 	m.freed.Add(uint64(len(ready)))
@@ -276,6 +312,8 @@ type Guard struct {
 // so "protection" through it would be silent use-after-free: the manager
 // would reclaim memory the caller believes is pinned. Failing loudly here
 // turns that heisenbug into an immediate stack trace.
+//
+//pmwcas:hotpath — brackets every index operation; an allocation here is a per-op tax on all structures
 func (g *Guard) Enter() {
 	if g.mgr == nil {
 		panic("epoch: Enter on an unregistered Guard (obtain guards from Manager.Register)")
@@ -295,6 +333,8 @@ func (g *Guard) Enter() {
 
 // Exit releases the outermost protection. It panics on unbalanced use —
 // that is always a structural bug in the caller.
+//
+//pmwcas:hotpath — brackets every index operation; an allocation here is a per-op tax on all structures
 func (g *Guard) Exit() {
 	if g.depth == 0 {
 		panic("epoch: Exit without matching Enter")

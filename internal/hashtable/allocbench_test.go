@@ -1,0 +1,33 @@
+package hashtable
+
+import (
+	"testing"
+
+	"pmwcas/internal/core"
+)
+
+// BenchmarkPointOps is the committed allocation budget for the hash
+// table's annotated fast paths (BENCH_allocs.txt, gated by benchdiff
+// -allocs in CI): steady-state Update+Get against a preloaded table,
+// past the split churn of loading, must stay at 0 allocs/op.
+func BenchmarkPointOps(b *testing.B) {
+	e := newHTEnv(b, core.Persistent, 8)
+	h := e.tab.NewHandle()
+	const keys = 512
+	for k := uint64(1); k <= keys; k++ {
+		if err := h.Insert(k, k); err != nil {
+			b.Fatalf("preload %d: %v", k, err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%keys) + 1
+		if err := h.Update(k, uint64(i%1024)+1); err != nil {
+			b.Fatalf("update %d: %v", k, err)
+		}
+		if _, err := h.Get(k); err != nil {
+			b.Fatalf("get %d: %v", k, err)
+		}
+	}
+}

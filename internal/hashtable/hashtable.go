@@ -427,6 +427,12 @@ type Handle struct {
 	core *core.Handle
 	ah   *alloc.Handle
 	lane metrics.Stripe
+
+	// splitKeys/splitVals are split's slot-snapshot scratch, sized on
+	// first use and reused: a handle is single-goroutine and split does
+	// not recurse, so one buffer pair per handle suffices.
+	splitKeys []uint64
+	splitVals []uint64
 }
 
 // NewHandle creates a per-goroutine handle.
@@ -434,16 +440,19 @@ func (t *Table) NewHandle() *Handle {
 	return &Handle{t: t, core: t.pool.NewHandle(), ah: t.alloc.NewHandle(), lane: metrics.NextStripe()}
 }
 
+// checkKey and checkValue return bare sentinels: the %#x wrapping they
+// once carried cost an Errorf allocation on every point op, and callers
+// match with errors.Is, never the message.
 func checkKey(key uint64) error {
 	if key == 0 || key >= MaxKey {
-		return fmt.Errorf("%w: %#x", ErrKeyRange, key)
+		return ErrKeyRange
 	}
 	return nil
 }
 
 func checkValue(v uint64) error {
 	if !core.IsClean(v) {
-		return fmt.Errorf("%w: %#x", ErrValueRange, v)
+		return ErrValueRange
 	}
 	return nil
 }

@@ -9,6 +9,10 @@ import (
 	"pmwcas/internal/nvram"
 )
 
+// errDepthExhausted is a sentinel (split sits on the //pmwcas:hotpath
+// proof, where constructing an error would allocate).
+var errDepthExhausted = errors.New("hashtable: bucket depth exhausted (pathological hash collisions)")
+
 // dirRead and dirReadHint read a directory entry, sanitizing the one
 // kind of value the single-word read family cannot: a descriptor
 // pointer. Directory words are multi-word targets — the sealed-bucket
@@ -143,6 +147,8 @@ func (h *Handle) tryDouble(g int) {
 // Get returns the value stored under key. The slot scan is seqlock-
 // style: every mutation bumps the bucket version, so an unchanged meta
 // word brackets an atomic snapshot of the bucket.
+//
+//pmwcas:hotpath — extendible-hash point lookup; allocation-free up to amortized split/double work, pinned by the -benchmem gate
 func (h *Handle) Get(key uint64) (uint64, error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
@@ -175,6 +181,8 @@ func (h *Handle) Get(key uint64) (uint64, error) {
 // PMwCAS installs the slot pair and bumps the bucket version; the
 // version compare validates the duplicate/free-slot scan atomically
 // (including against a concurrent split sealing the bucket).
+//
+//pmwcas:hotpath — extendible-hash point insert; allocation-free up to amortized split/double work, pinned by the -benchmem gate
 func (h *Handle) Insert(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -251,6 +259,8 @@ func (h *Handle) Insert(key, value uint64) error {
 // Update replaces the value under an existing key: a two-word PMwCAS
 // (version bump + value swap). The unchanged version proves the key
 // still occupies the slot the scan found it in.
+//
+//pmwcas:hotpath — extendible-hash point update; allocation-free up to amortized split/double work, pinned by the -benchmem gate
 func (h *Handle) Update(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -307,6 +317,8 @@ func (h *Handle) Update(key, value uint64) error {
 // Delete removes key: a three-word PMwCAS clears the slot pair and bumps
 // the version, so the slot is immediately reusable (no tombstones — a
 // bucket never probes beyond itself).
+//
+//pmwcas:hotpath — extendible-hash point delete; allocation-free up to amortized split/double work, pinned by the -benchmem gate
 func (h *Handle) Delete(key uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -362,6 +374,8 @@ func (h *Handle) Delete(key uint64) error {
 }
 
 // Upsert stores value under key whether or not it is present.
+//
+//pmwcas:hotpath — extendible-hash point upsert; allocation-free up to amortized split/double work, pinned by the -benchmem gate
 func (h *Handle) Upsert(key, value uint64) error {
 	for {
 		err := h.Update(key, value)
@@ -392,7 +406,7 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 	t := h.t
 	depth := metaDepth(meta)
 	if depth >= maxBucketDepth {
-		return errors.New("hashtable: bucket depth exhausted (pathological hash collisions)")
+		return errDepthExhausted
 	}
 	if metrics.On() {
 		t0 := time.Now()
@@ -401,8 +415,12 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 	// Snapshot the slots. Consistency is validated by the meta compare in
 	// the PMwCAS below: any concurrent mutation bumps the version and
 	// fails the install, reclaiming the children.
-	keys := make([]uint64, t.slots)
-	vals := make([]uint64, t.slots)
+	if cap(h.splitKeys) < t.slots {
+		h.splitKeys = make([]uint64, t.slots)
+		h.splitVals = make([]uint64, t.slots)
+	}
+	keys := h.splitKeys[:t.slots]
+	vals := h.splitVals[:t.slots]
 	for i := 0; i < t.slots; i++ {
 		keys[i] = h.core.Read(slotKeyOff(b, i))
 		vals[i] = h.core.Read(slotValOff(b, i))
@@ -504,7 +522,7 @@ func (h *Handle) split(b nvram.Offset, meta, hash uint64) error {
 // a seqlock snapshot, but the iteration as a whole is not atomic:
 // entries moved by a concurrent split can be seen twice or not at all,
 // like any weakly-consistent hash iterator. fn returning false stops the
-// walk.
+// walk. fn runs under the walk's epoch guard and must not block.
 func (h *Handle) Range(fn func(key, value uint64) bool) error {
 	t := h.t
 	g := h.core.Guard()
@@ -547,6 +565,7 @@ func (h *Handle) Range(fn func(key, value uint64) bool) error {
 				continue // torn bucket snapshot; re-read this bucket
 			}
 			for _, e := range entries {
+				//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 				if !fn(e.Key, e.Value) {
 					return nil
 				}

@@ -186,19 +186,20 @@ func (h *Handle) tryReclaim(b nvram.Offset, class uint64, depth int) bool {
 		t.wordCAS(off0, uint64(b), vstar)
 		return false
 	}
-	abort := func() bool {
+	if err := d.AddWordWithPolicy(off0, uint64(b), vstar, core.PolicyFreeOldOnSuccess); err != nil {
 		d.Discard()
 		t.wordCAS(off0, uint64(b), vstar)
 		return false
 	}
-	if err := d.AddWordWithPolicy(off0, uint64(b), vstar, core.PolicyFreeOldOnSuccess); err != nil {
-		return abort()
-	}
 	if err := d.AddWord(nvram.Offset(c0)+bucketParentOff, uint64(b), reclaimedPtr); err != nil {
-		return abort()
+		d.Discard()
+		t.wordCAS(off0, uint64(b), vstar)
+		return false
 	}
 	if err := d.AddWord(nvram.Offset(c1)+bucketParentOff, uint64(b), reclaimedPtr); err != nil {
-		return abort()
+		d.Discard()
+		t.wordCAS(off0, uint64(b), vstar)
+		return false
 	}
 	ok, err := d.Execute()
 	if err != nil || !ok {

@@ -33,10 +33,14 @@ const MaxLen = 7
 var ErrTooLong = errors.New("keycodec: key longer than 7 bytes")
 
 // Encode packs s into an order-preserving uint64 key. The result is
-// always a valid index key: nonzero and below the index MaxKey.
+// always a valid index key: nonzero and below the index MaxKey. The
+// oversize error is the bare sentinel: Encode runs once per server
+// request, and callers match with errors.Is.
+//
+//pmwcas:hotpath — per-request key packing on the server point-op path
 func Encode(s []byte) (uint64, error) {
 	if len(s) > MaxLen {
-		return 0, fmt.Errorf("%w: %d bytes", ErrTooLong, len(s))
+		return 0, ErrTooLong
 	}
 	var v uint64
 	for i := 0; i < MaxLen; i++ {
@@ -63,30 +67,51 @@ func MustEncode(s string) uint64 {
 	return k
 }
 
+// Decode sentinels (bare: AppendDecode sits on the //pmwcas:hotpath
+// proof, where constructing an error would allocate).
+var (
+	errZeroKey    = errors.New("keycodec: zero is not an encoded key")
+	errBadLength  = errors.New("keycodec: corrupt length nibble")
+	errBadPadding = errors.New("keycodec: nonzero padding")
+)
+
 // Decode recovers the original bytes from an encoded key. It returns an
-// error if k does not round-trip (was not produced by Encode).
+// error if k does not round-trip (was not produced by Encode). It
+// allocates the result; per-request loops should reuse a buffer through
+// AppendDecode.
 func Decode(k uint64) ([]byte, error) {
+	out, err := AppendDecode(nil, k)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendDecode appends the decoded bytes of k to dst and returns the
+// extended slice. On error dst is returned unchanged.
+//
+//pmwcas:hotpath — per-request value unpacking into a connection-owned scratch buffer
+func AppendDecode(dst []byte, k uint64) ([]byte, error) {
 	if k == 0 {
-		return nil, errors.New("keycodec: zero is not an encoded key")
+		return dst, errZeroKey
 	}
 	k--
 	n := int(k & 0xf) // the nibble held len+1; the decrement yields len
 	if n > MaxLen {
-		return nil, fmt.Errorf("keycodec: corrupt length %d", n)
+		return dst, errBadLength
 	}
 	body := k >> 4
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = byte(body >> (8 * (MaxLen - 1 - i)))
-	}
 	// Reject paddings that a genuine encoding would never produce: bytes
 	// beyond the length must be zero.
 	for i := n; i < MaxLen; i++ {
 		if byte(body>>(8*(MaxLen-1-i))) != 0 {
-			return nil, errors.New("keycodec: nonzero padding")
+			return dst, errBadPadding
 		}
 	}
-	return out, nil
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(body>>(8*(MaxLen-1-i))))
+	}
+	return dst, nil
 }
 
 // DecodeString is Decode returning a string.

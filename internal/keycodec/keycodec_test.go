@@ -158,3 +158,23 @@ func BenchmarkDecode(b *testing.B) {
 		Decode(k)
 	}
 }
+
+// BenchmarkAppendDecode is the committed allocation budget for the
+// scratch-reusing decode path (BENCH_allocs.txt, gated by benchdiff
+// -allocs in CI): 0 allocs/op once the buffer has its capacity.
+func BenchmarkAppendDecode(b *testing.B) {
+	k, err := EncodeString("seven77")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, MaxLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := AppendDecode(buf[:0], k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}

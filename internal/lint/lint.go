@@ -69,6 +69,24 @@
 //     The psan build tag (`go test -tags psan`) arms a runtime sanitizer
 //     in internal/nvram that enforces the same contract dynamically, by
 //     value matching against the persisted image.
+//   - hotpath (DESIGN.md §6.3): every function reachable from a
+//     //pmwcas:hotpath root must be transitively free of heap
+//     allocation. Proof is per-function on the typed AST (make/new,
+//     escaping composites, capturing closures, growing append, string
+//     building, interface boxing, variadic slices, goroutine spawns)
+//     and crosses package boundaries as an AllocFree fact; calls into
+//     unproven functions are default-deny findings. Two amortized
+//     idioms — self-append and cap()-guarded make — pass statically and
+//     are pinned dynamically by the CI allocation-budget gate.
+//   - nonblock (DESIGN.md §6.3): inside epoch-guarded regions (a
+//     may-held-guard dataflow over go/cfg, the dual of guardfact's
+//     must-analysis) and throughout //pmwcas:hotpath /
+//     //pmwcas:requires-guard bodies, no operation may park the
+//     goroutine: channel ops, select, sync locks and waits, time.Sleep,
+//     and OS calls are findings, propagated interprocedurally as
+//     MayBlock facts. A reasoned suppression at the primitive (a
+//     documented bounded critical section) stops the propagation at its
+//     source.
 //
 // # What "PMwCAS-managed" means to the analyzers
 //
@@ -146,6 +164,8 @@ var Analyzers = []*analysis.Analyzer{
 	GuardFact,
 	DescFlow,
 	PersistOrd,
+	HotPath,
+	NonBlock,
 	StaleAllow,
 }
 

@@ -31,6 +31,12 @@ func TestDescFlow(t *testing.T) {
 func TestPersistOrd(t *testing.T) {
 	linttest.RunDirs(t, linttest.TestData(t), lint.PersistOrd, "persistord/a", "persistord/b", "persistord/c")
 }
+func TestHotPath(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.HotPath, "hotpath/a", "hotpath/b", "hotpath/c")
+}
+func TestNonBlock(t *testing.T) {
+	linttest.RunDirs(t, linttest.TestData(t), lint.NonBlock, "nonblock/a", "nonblock/b", "nonblock/c")
+}
 func TestStaleAllow(t *testing.T) {
 	linttest.Run(t, linttest.TestData(t), lint.StaleAllow, "staleallow")
 }

@@ -56,6 +56,7 @@ var rootPackages = []string{
 	"pmwcas/internal/core",
 	"pmwcas/internal/epoch",
 	"pmwcas/internal/alloc",
+	"testing", // for the vendored vet analyzers' fixtures (loopclosure's t.Run check)
 }
 
 var (
@@ -194,9 +195,13 @@ func RunDirs(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string
 		base: importer.ForCompiler(fset, "gc", lookup),
 		pkgs: make(map[string]*types.Package),
 	}
+	// GoVersion matches go.mod; a fixture file may downgrade itself with a
+	// `//go:build go1.N` constraint (recorded in Info.FileVersions), which
+	// the vendored vet analyzers consult for version-gated checks.
 	conf := types.Config{
-		Importer: imp,
-		Sizes:    types.SizesFor("gc", "amd64"),
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", "amd64"),
+		GoVersion: "go1.22",
 	}
 
 	// objFacts is the shared fact store. Because the importer hands the
@@ -236,13 +241,14 @@ func RunDirs(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string
 		}
 
 		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Instances:  make(map[*ast.Ident]types.Instance),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Implicits:  make(map[ast.Node]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Scopes:     make(map[ast.Node]*types.Scope),
+			Types:        make(map[ast.Expr]types.TypeAndValue),
+			Instances:    make(map[*ast.Ident]types.Instance),
+			Defs:         make(map[*ast.Ident]types.Object),
+			Uses:         make(map[*ast.Ident]types.Object),
+			Implicits:    make(map[ast.Node]types.Object),
+			Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:       make(map[ast.Node]*types.Scope),
+			FileVersions: make(map[*ast.File]string),
 		}
 		path := "fixtures/" + dir
 		pkg, err := conf.Check(path, fset, files, info)

@@ -1,0 +1,545 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/cfg"
+)
+
+// MayBlock is the fact nonblock attaches to a function that can park
+// its goroutine: it contains an unsuppressed blocking operation
+// (channel op, select, sync lock/wait, time.Sleep, a call into an
+// OS/syscall package) or calls a function carrying this fact. A
+// reasoned //lint:allow nonblock at the operation — the documented
+// bounded-critical-section waiver — stops the propagation at its
+// source, which is what keeps the fact meaningful: without the waiver
+// every index operation would inherit MayBlock from the allocator's
+// free-list mutex three hops down.
+type MayBlock struct {
+	Op string // the blocking operation, for diagnostics at call sites
+}
+
+// AFact marks MayBlock as a serializable analysis fact.
+func (*MayBlock) AFact() {}
+
+func (f *MayBlock) String() string { return "MayBlock(" + f.Op + ")" }
+
+// NonBlock verifies the progress half of the lock-free fast-path
+// contract (DESIGN.md §6.3): inside an epoch-guarded region — the
+// union-dataflow region after a Guard.Enter on some path, composing
+// with guardfact's Enter/Exit event machinery — and anywhere in the
+// body of a function annotated //pmwcas:hotpath or
+// //pmwcas:requires-guard (which executes inside its caller's guard or
+// a descriptor-helping region), the code must not park the goroutine:
+// no channel operations or select, no sync.Mutex/RWMutex lock,
+// WaitGroup or Cond wait, sync.Once, no time.Sleep, and no calls into
+// os/net/syscall. A parked guard stalls epoch reclamation for every
+// thread and turns the lock-free helping protocol into a convoy.
+//
+// Blocking is detected syntactically at the primitive and propagated
+// interprocedurally as a MayBlock fact; calls to MayBlock functions
+// inside a checked region are findings. Dynamic calls (func values,
+// interface methods) in a checked region cannot be proven and are
+// findings too.
+var NonBlock = &analysis.Analyzer{
+	Name: "nonblock",
+	Doc: "report blocking operations inside epoch-guarded or descriptor-helping regions; " +
+		"exports MayBlock facts (DESIGN.md §6.3)",
+	Requires:  []*analysis.Analyzer{Suppress, inspect.Analyzer, ctrlflow.Analyzer},
+	FactTypes: []analysis.Fact{(*MayBlock)(nil)},
+	Run:       runNonBlock,
+}
+
+// syscallPkgs are packages whose calls are assumed to reach the OS.
+var syscallPkgs = map[string]bool{
+	"os":      true,
+	"net":     true,
+	"syscall": true,
+}
+
+// nbOp is one blocking operation (suppression-filtered) or one call
+// whose blocking-freedom depends on the callee.
+type nbOp struct {
+	pos  token.Pos
+	what string
+	// fn is non-nil for static calls: blocking iff the callee carries a
+	// MayBlock fact. dynamic marks unprovable calls, reported only
+	// inside checked regions.
+	fn      *types.Func
+	dynamic bool
+}
+
+type nbSummary struct {
+	decl      *ast.FuncDecl
+	ops       []nbOp // syntactic blocking ops, already suppression-filtered
+	calls     []nbOp // static and dynamic calls
+	wholeBody bool   // annotated hotpath/requires-guard: entire body is a checked region
+}
+
+func runNonBlock(pass *analysis.Pass) (interface{}, error) {
+	sup := suppressionsOf(pass)
+	info := pass.TypesInfo
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	// Phase 1: summarize.
+	sums := make(map[*types.Func]*nbSummary)
+	var order []*types.Func
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &nbSummary{
+				decl:      fd,
+				wholeBody: hasAnnotation(fd, hotpathAnnotation) || hasGuardAnnotation(fd),
+			}
+			scanBlockOps(pass, sup, fd.Body, s)
+			sums[fn] = s
+			order = append(order, fn)
+		}
+	}
+
+	// Phase 2: least fixpoint of MayBlock over the local call graph,
+	// seeded by syntactic ops and imported facts. Suppressed calls to
+	// MayBlock callees are waived and stop the propagation.
+	mb := make(map[*types.Func]string, len(sums))
+	for fn, s := range sums {
+		if len(s.ops) > 0 {
+			mb[fn] = s.ops[0].what
+		}
+	}
+	waived := make(map[token.Pos]bool)
+	calleeBlocks := func(callee *types.Func) (string, bool) {
+		if callee == nil {
+			return "", false
+		}
+		callee = callee.Origin()
+		if callee.Pkg() == pass.Pkg {
+			op, ok := mb[callee]
+			return op, ok
+		}
+		// Imported facts are trusted only for this module's packages (and
+		// the test fixtures). Under go vet the analyzer also runs over
+		// stdlib dependencies, where bounded mutexes guard lazy caches
+		// (reflect's layout cache, sync.Map's dirty promotion, fmt via
+		// both): treating those as parking hazards would taint nearly
+		// every formatted error. Direct blocking — sync primitives,
+		// time.Sleep, channel ops, calls into os/net/syscall — is still
+		// caught syntactically at every call site in this repo.
+		if p := callee.Pkg(); p == nil || !strings.HasPrefix(p.Path(), "pmwcas/") && !strings.HasPrefix(p.Path(), "fixtures/") {
+			return "", false
+		}
+		var f MayBlock
+		if pass.ImportObjectFact(callee, &f) {
+			return f.Op, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if _, done := mb[fn]; done {
+				continue
+			}
+			for _, c := range sums[fn].calls {
+				if c.dynamic || waived[c.pos] {
+					continue
+				}
+				op, blocks := calleeBlocks(c.fn)
+				if !blocks {
+					continue
+				}
+				if ok, _ := sup.allowed(c.pos, "nonblock"); ok {
+					waived[c.pos] = true
+					continue
+				}
+				mb[fn] = op
+				changed = true
+				break
+			}
+		}
+	}
+	for _, fn := range order {
+		if op, ok := mb[fn]; ok {
+			pass.ExportObjectFact(fn.Origin(), &MayBlock{Op: op})
+		}
+	}
+
+	// Phase 3: report ops and risky calls inside checked regions.
+	for _, fn := range order {
+		s := sums[fn]
+		if len(s.ops) == 0 && len(s.calls) == 0 {
+			continue
+		}
+		checkBlockingRegions(pass, sup, fn, s, cfgs.FuncDecl(s.decl), calleeBlocks, waived)
+	}
+	return nil, nil
+}
+
+// checkBlockingRegions runs the may-held-guard dataflow over the
+// function's CFG and reports every blocking op, MayBlock call, and
+// dynamic call that some path reaches with a guard held (or anywhere,
+// for wholeBody contracts).
+func checkBlockingRegions(pass *analysis.Pass, sup *suppressions, fn *types.Func, s *nbSummary,
+	g *cfg.CFG, calleeBlocks func(*types.Func) (string, bool), waived map[token.Pos]bool) {
+	if g == nil {
+		return
+	}
+	info := pass.TypesInfo
+
+	report := func(op nbOp, where string) {
+		switch {
+		case op.dynamic:
+			if ok, note := sup.allowed(op.pos, "nonblock"); !ok {
+				pass.Reportf(op.pos,
+					"dynamic call (func value or interface method) %s; it cannot be proven non-blocking — "+
+						"a parked guard stalls epoch reclamation for every thread (§6.3)%s", where, note)
+			}
+		case op.fn != nil:
+			bop, blocks := calleeBlocks(op.fn)
+			if !blocks || waived[op.pos] {
+				return
+			}
+			if ok, note := sup.allowed(op.pos, "nonblock"); !ok {
+				pass.Reportf(op.pos,
+					"call to %s, which may block (%s), %s — a parked guard stalls epoch reclamation "+
+						"for every thread; restructure, or waive with a reasoned //lint:allow nonblock (§6.3)%s",
+					op.fn.FullName(), bop, where, note)
+			}
+		default:
+			// Syntactic ops were suppression-filtered at summary time.
+			pass.Reportf(op.pos,
+				"%s %s — a parked guard stalls epoch reclamation for every thread; "+
+					"restructure, or waive with a reasoned //lint:allow nonblock (§6.3)", op.what, where)
+		}
+	}
+
+	if s.wholeBody {
+		where := "in " + fn.Name() + ", whose annotation promises it runs inside a guarded or helping region"
+		for _, op := range s.ops {
+			report(op, where)
+		}
+		for _, op := range s.calls {
+			report(op, where)
+		}
+		return
+	}
+
+	// Per-block guard events and candidate ops in source order.
+	type event struct {
+		pos   token.Pos
+		key   string
+		enter bool
+	}
+	events := make([][]event, len(g.Blocks))
+	ops := make([][]nbOp, len(g.Blocks))
+	opIndex := make(map[token.Pos][]nbOp, len(s.ops)+len(s.calls))
+	for _, op := range s.ops {
+		opIndex[op.pos] = append(opIndex[op.pos], op)
+	}
+	for _, op := range s.calls {
+		opIndex[op.pos] = append(opIndex[op.pos], op)
+	}
+	for i, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				switch c := n.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if method, key, ok := isGuardMethod(info, c); ok {
+						events[i] = append(events[i], event{c.Pos(), key, method == "Enter"})
+						return true
+					}
+				}
+				if pending, ok := opIndex[n.Pos()]; ok {
+					var keep []nbOp
+					for _, op := range pending {
+						if opNodeMatches(n, op) {
+							ops[i] = append(ops[i], op)
+						} else {
+							keep = append(keep, op)
+						}
+					}
+					if len(keep) == 0 {
+						delete(opIndex, n.Pos())
+					} else {
+						opIndex[n.Pos()] = keep
+					}
+				}
+				return true
+			})
+		}
+		sort.SliceStable(events[i], func(a, b int) bool { return events[i][a].pos < events[i][b].pos })
+		sort.SliceStable(ops[i], func(a, b int) bool { return ops[i][a].pos < ops[i][b].pos })
+	}
+	any := false
+	for i := range ops {
+		if len(ops[i]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Forward may-dataflow: the set of guard keys held on SOME path into
+	// a block — the union over predecessors (guardfact's machinery with
+	// the dual meet: there it takes an intersection to prove protection,
+	// here a union to catch any guarded path that reaches a blocking op).
+	preds := make([][]int, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, succ := range b.Succs {
+			preds[succ.Index] = append(preds[succ.Index], i)
+		}
+	}
+	apply := func(state map[string]bool, evs []event) map[string]bool {
+		out := make(map[string]bool, len(state))
+		for k := range state {
+			out[k] = true
+		}
+		for _, e := range evs {
+			if e.enter {
+				out[e.key] = true
+			} else {
+				delete(out, e.key)
+			}
+		}
+		return out
+	}
+	in := make([]map[string]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Blocks {
+			union := map[string]bool{}
+			for _, p := range preds[i] {
+				for k := range apply(in[p], events[p]) {
+					union[k] = true
+				}
+			}
+			if len(union) != len(in[i]) || !sameKeys(union, in[i]) {
+				in[i] = union
+				changed = true
+			}
+		}
+	}
+
+	for i := range g.Blocks {
+		if len(ops[i]) == 0 {
+			continue
+		}
+		state := apply(in[i], nil)
+		ei := 0
+		for _, op := range ops[i] {
+			for ei < len(events[i]) && events[i][ei].pos < op.pos {
+				state = apply(state, events[i][ei:ei+1])
+				ei++
+			}
+			if len(state) == 0 {
+				continue
+			}
+			report(op, "inside an epoch-guarded region")
+		}
+	}
+
+	// Safety net: an op the CFG node walk could not place (a construct
+	// the builder decomposes without recording a node at the op's
+	// position). If the function enters a guard anywhere, report the op
+	// conservatively rather than silently dropping it.
+	if len(opIndex) > 0 {
+		entersGuard := false
+		for i := range events {
+			for _, e := range events[i] {
+				if e.enter {
+					entersGuard = true
+				}
+			}
+		}
+		if entersGuard {
+			for _, pending := range opIndex {
+				for _, op := range pending {
+					report(op, "inside a function that enters an epoch guard (conservatively: the op could not be placed in the control-flow graph)")
+				}
+			}
+		}
+	}
+}
+
+// opNodeMatches guards against position collisions: an op recorded at a
+// position is claimed only by a node of the right shape.
+func opNodeMatches(n ast.Node, op nbOp) bool {
+	if op.fn != nil || op.dynamic {
+		_, ok := n.(*ast.CallExpr)
+		return ok
+	}
+	return true
+}
+
+// scanBlockOps walks one function body collecting blocking operations
+// (suppressions waive them and stop MayBlock propagation at the source)
+// and outgoing calls. Function literals are their own goroutine-agnostic
+// scopes and deferred statements run at return, outside the guarded
+// flow — both are skipped, mirroring guardfact.
+func scanBlockOps(pass *analysis.Pass, sup *suppressions, body *ast.BlockStmt, s *nbSummary) {
+	info := pass.TypesInfo
+	add := func(pos token.Pos, what string) {
+		if ok, _ := sup.allowed(pos, "nonblock"); ok {
+			return
+		}
+		s.ops = append(s.ops, nbOp{pos: pos, what: what})
+	}
+	// Communication statements of a select are part of the select, not
+	// independent blocking ops (and a select with a default clause is a
+	// non-blocking poll): collect their spans so the channel-op cases
+	// below can skip them.
+	type span struct{ lo, hi token.Pos }
+	var commSpans []span
+	inComm := func(pos token.Pos) bool {
+		for _, s := range commSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					commSpans = append(commSpans, span{comm.Pos(), comm.End()})
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			if !inComm(x.Pos()) {
+				add(x.Pos(), "channel send")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inComm(x.Pos()) {
+				add(x.Pos(), "channel receive")
+			}
+			return true
+		case *ast.SelectStmt:
+			// A select parks unless it has a default clause. The op is
+			// recorded at the first communication statement — the node
+			// the CFG builder actually places in a block (the bare
+			// SelectStmt never appears in block node lists).
+			hasDefault := false
+			var firstComm ast.Stmt
+			for _, cl := range x.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+				} else if firstComm == nil {
+					firstComm = cc.Comm
+				}
+			}
+			if !hasDefault {
+				pos := x.Pos()
+				if firstComm != nil {
+					pos = firstComm.Pos()
+				}
+				add(pos, "select statement without a default clause")
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					// Recorded at the range expression, the node the CFG
+					// builder places in a block.
+					add(x.X.Pos(), "range over channel")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if what, ok := blockingCall(info, x); ok {
+				add(x.Pos(), what)
+				return true
+			}
+			fun := ast.Unparen(x.Fun)
+			if tv, ok := info.Types[fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					// A panicking path has already abandoned the region's
+					// progress guarantee; whatever its arguments call (fmt,
+					// usually) is failure-path work, not a parked guard.
+					return id.Name != "panic"
+				}
+			}
+			if fn := calleeFunc(info, x); fn != nil && !isInterfaceMethod(fn) {
+				if fn.Pkg() != nil && syscallPkgs[fn.Pkg().Path()] {
+					add(x.Pos(), "call into package "+fn.Pkg().Path()+" (reaches the OS)")
+					return true
+				}
+				s.calls = append(s.calls, nbOp{pos: x.Pos(), fn: fn})
+				return true
+			}
+			if _, ok := fun.(*ast.Ident); ok || isSelectorCall(fun) {
+				s.calls = append(s.calls, nbOp{pos: x.Pos(), dynamic: true})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes the sync and timer primitives that park the
+// calling goroutine.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if name, _, recvType, ok := methodCall(info, call); ok {
+		if recvType == nil {
+			return "", false
+		}
+		t := recvType
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			return "", false
+		}
+		switch named.Obj().Name() + "." + name {
+		case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock",
+			"WaitGroup.Wait", "Cond.Wait", "Once.Do":
+			return "sync." + named.Obj().Name() + "." + name, true
+		}
+		return "", false
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if fn.FullName() == "time.Sleep" {
+			return "time.Sleep", true
+		}
+	}
+	return "", false
+}

@@ -30,6 +30,7 @@ var StaleAllow = &analysis.Analyzer{
 		Suppress,
 		RawLoad, FlagMask, GuardPair, StoreFence, DescReuse,
 		FlushFact, GuardFact, DescFlow, PersistOrd,
+		HotPath, NonBlock,
 	},
 	Run: runStaleAllow,
 }
@@ -47,6 +48,8 @@ var checkerNames = map[string]bool{
 	"guardfact":  true,
 	"descflow":   true,
 	"persistord": true,
+	"hotpath":    true,
+	"nonblock":   true,
 }
 
 // annotationNames are the //pmwcas: marker annotations the suite
@@ -58,6 +61,7 @@ var checkerNames = map[string]bool{
 var annotationNames = map[string]bool{
 	"requires-guard": true,
 	"traversal":      true,
+	"hotpath":        true,
 }
 
 func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
@@ -96,7 +100,7 @@ func runStaleAllow(pass *analysis.Pass) (interface{}, error) {
 				kind, e.name)
 		case !checkerNames[e.name]:
 			pass.Reportf(e.pos,
-				"%s names unknown analyzer %q (known: rawload, flagmask, guardpair, storefence, descreuse, flushfact, guardfact, descflow, persistord)",
+				"%s names unknown analyzer %q (known: rawload, flagmask, guardpair, storefence, descreuse, flushfact, guardfact, descflow, persistord, hotpath, nonblock)",
 				kind, e.name)
 		case !e.used:
 			pass.Reportf(e.pos,
@@ -148,7 +152,7 @@ func auditAnnotations(pass *analysis.Pass, testUnit bool) {
 				switch {
 				case !annotationNames[name]:
 					pass.Reportf(c.Pos(),
-						"//pmwcas: annotation names unknown contract %q (known: requires-guard, traversal); a typo here silently disables enforcement",
+						"//pmwcas: annotation names unknown contract %q (known: requires-guard, traversal, hotpath); a typo here silently disables enforcement",
 						name)
 				case !inDoc[c]:
 					pass.Reportf(c.Pos(),

@@ -1,0 +1,39 @@
+// Leaf fixture package for the hotpath fact chain: no annotated roots,
+// so no diagnostics here — but the analyzer proves (or refuses to
+// prove) each function and exports AllocFree facts the importing
+// fixtures consume.
+package a
+
+// Clean is provably allocation-free; its AllocFree fact travels to the
+// packages importing this one.
+func Clean(x uint64) uint64 {
+	return x>>4 | x<<60
+}
+
+// Leaky allocates; no AllocFree fact. Nothing is reported here — the
+// finding surfaces where a hot path calls it.
+func Leaky(n int) []byte {
+	return make([]byte, n)
+}
+
+// SelfAppend grows its own argument: the amortized idiom, proven.
+func SelfAppend(dst []byte, b byte) []byte {
+	dst = append(dst, b)
+	return dst
+}
+
+// EnsureCap reuses its buffer behind a cap() guard: the other amortized
+// idiom, proven.
+func EnsureCap(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// WaivedAlloc carries a reviewed exception: the suppression waives the
+// op, so the function still earns its AllocFree fact.
+func WaivedAlloc() []byte {
+	//lint:allow hotpath — fixture: cold-path buffer, waived by review
+	return make([]byte, 8)
+}

@@ -1,0 +1,24 @@
+// Middle fixture package: wraps the leaf helpers one call hop deep. No
+// annotated roots, so still no diagnostics — Mid earns AllocFree
+// through a's fact, MidLeaky does not, and the difference is what the
+// root package two hops up observes.
+package b
+
+import "fixtures/hotpath/a"
+
+// Mid is proven through a.Clean's imported AllocFree fact.
+func Mid(x uint64) uint64 {
+	return a.Clean(x) + 1
+}
+
+// MidLeaky reaches a.Leaky's allocation one hop down; it cannot be
+// proven, and a hot path calling it is two hops from the make.
+func MidLeaky(n int) int {
+	return len(a.Leaky(n))
+}
+
+// MidWaived is proven because the leaf's allocation was waived at its
+// source.
+func MidWaived() int {
+	return len(a.WaivedAlloc())
+}

@@ -1,0 +1,54 @@
+// Root fixture package for hotpath: annotated roots whose reachable
+// set must be allocation-free. The seeded escape is Root -> b.MidLeaky
+// -> a.Leaky: the make is two call hops below the annotated root in a
+// package two imports away, and the finding surfaces at the boundary
+// call whose callee has no AllocFree fact.
+package c
+
+import (
+	"fixtures/hotpath/b"
+)
+
+var sink uint64
+
+//pmwcas:hotpath — fixture: install-path stand-in, must not allocate
+func Root(x uint64, n int) {
+	sink = b.Mid(x)           // proven via facts two packages down: no finding
+	sink += uint64(b.MidLeaky(n)) // want `call to fixtures/hotpath/b.MidLeaky, which is not proven allocation-free`
+	sink += uint64(b.MidWaived()) // waived at the leaf: no finding
+	helper(n)
+}
+
+// helper is unannotated but reachable from Root, so its body is held to
+// the same standard.
+func helper(n int) {
+	buf := make([]byte, n) // want `make \(allocates`
+	sink += uint64(len(buf))
+}
+
+//pmwcas:hotpath — fixture: op taxonomy coverage
+func Ops(s string, bs []byte, n int, f func() int) {
+	var scratch []byte
+	scratch = append(scratch, byte(n)) // self-append: no finding
+	other := append(bs, scratch...)    // want `append into a fresh or foreign slice`
+	if cap(other) < n {
+		other = make([]byte, n) // cap()-guarded: no finding
+	}
+	s2 := s + "!"       // want `string concatenation`
+	bs2 := []byte(s2)   // want `string-to-slice conversion`
+	s3 := string(other) // want `conversion to string`
+	box(n)              // want `interface boxing of a non-pointer argument`
+	vari(1, 2, 3)       // want `variadic call to vari \(allocates its 3-element argument slice\)`
+	go helper(n)        // want `go statement \(goroutine spawn allocates\)`
+	sink += uint64(f()) // want `dynamic call \(func value or interface method`
+	adder := func() { sink += uint64(n) } // want `closure capturing local state`
+	adder() // want `dynamic call \(func value or interface method`
+	sink += uint64(len(bs2) + len(s3))
+	//lint:allow hotpath — fixture: reviewed exception keeps the path green
+	waived := make([]byte, 4)
+	sink += uint64(len(waived))
+}
+
+func box(v interface{}) { _ = v }
+
+func vari(vs ...int) int { return len(vs) }

@@ -1,0 +1,27 @@
+// Leaf fixture package for the nonblock fact chain: no guarded regions
+// here, so no diagnostics — but Blocky's mutex makes it export a
+// MayBlock fact, and Waived's reasoned suppression stops the
+// propagation at its source.
+package a
+
+import "sync"
+
+var mu sync.Mutex
+var state uint64
+
+// Blocky takes a lock with no waiver: MayBlock(sync.Mutex.Lock) is
+// exported and every transitive caller inherits the taint.
+func Blocky() {
+	mu.Lock()
+	state++
+	mu.Unlock()
+}
+
+// Waived takes the same lock under a reviewed bounded-critical-section
+// waiver; no fact is exported and callers stay clean.
+func Waived() {
+	//lint:allow nonblock — fixture: bounded critical section, no I/O or nesting under the lock
+	mu.Lock()
+	state++
+	mu.Unlock()
+}

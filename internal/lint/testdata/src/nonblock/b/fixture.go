@@ -1,0 +1,16 @@
+// Middle fixture package: Mid inherits MayBlock from a.Blocky through
+// the imported fact — the blocking primitive is now two call hops from
+// the guarded region that will trip over it.
+package b
+
+import "fixtures/nonblock/a"
+
+// Mid calls a.Blocky: MayBlock propagates through this hop.
+func Mid() {
+	a.Blocky()
+}
+
+// MidWaived calls the waived variant: no taint to inherit.
+func MidWaived() {
+	a.Waived()
+}

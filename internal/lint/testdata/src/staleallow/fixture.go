@@ -7,8 +7,15 @@ package staleallow
 //lint:file-allow storefence — nothing in this file stores raw anymore
 
 import (
+	"sync"
+
 	"pmwcas/internal/core"
 	"pmwcas/internal/nvram"
+)
+
+var (
+	auditMu    sync.Mutex
+	auditState uint64
 )
 
 type box struct {
@@ -52,11 +59,64 @@ func (b *box) reasonless(expect uint64) bool {
 	return v == expect
 }
 
+// liveHotpathWaiver: the make below is a real allocation the hotpath
+// checker consults the waiver about, so the auditor stays silent.
+func liveHotpathWaiver(n int) []byte {
+	//lint:allow hotpath — fixture: one-time buffer sized during recovery, not on the fast path
+	return make([]byte, n)
+}
+
+// staleHotpathWaiver: nothing on the suppressed line allocates anymore;
+// the waiver outlived the violation.
+func staleHotpathWaiver(x uint64) uint64 {
+	// want+1 `stale suppression: lint:allow hotpath no longer suppresses any diagnostic here`
+	//lint:allow hotpath — the expression below used to build a string
+	return x + 1
+}
+
+// liveNonblockWaiver: the lock is a blocking primitive nonblock consults
+// the waiver about before deciding whether to export a MayBlock fact.
+func liveNonblockWaiver() {
+	//lint:allow nonblock — fixture: bounded critical section, no I/O under the lock
+	auditMu.Lock()
+	auditState++
+	auditMu.Unlock()
+}
+
+// staleNonblockWaiver: the suppressed line no longer blocks.
+func staleNonblockWaiver() {
+	// want+1 `stale suppression: lint:allow nonblock no longer suppresses any diagnostic here`
+	//lint:allow nonblock — the statement below used to take the lock
+	auditState++
+}
+
 // goodAnnotation: known contract name, in a function's doc comment, with
 // a stated reason — the audit stays silent.
 //
 //pmwcas:traversal — fixture body performs no protocol reads at all
 func goodAnnotation() {}
+
+// goodHotpathAnnotation: the hotpath contract is a name the audit
+// recognizes; reasoned and attached, so the audit stays silent.
+//
+//pmwcas:hotpath — fixture: stand-in for an install path that must stay allocation-free
+func goodHotpathAnnotation() {}
+
+// typoedHotpathAnnotation: the plural would silently disable the
+// allocation gate on this function.
+//
+// want+2 `//pmwcas: annotation names unknown contract "hotpaths"`
+//
+//pmwcas:hotpaths — plural typo, nothing enforces this
+func typoedHotpathAnnotation() {}
+
+// reasonlessHotpathAnnotation: hotpath annotations are reviewed contracts
+// and must say why the function belongs on the fast path.
+//
+// want+2 `//pmwcas:hotpath has no reason`
+//
+//pmwcas:hotpath
+func reasonlessHotpathAnnotation() {}
 
 // typoedAnnotation: "traverse" is not a contract the suite acts on; the
 // misspelling would silently disable enforcement.

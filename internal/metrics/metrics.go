@@ -85,6 +85,8 @@ type Counter struct {
 }
 
 // Add adds n on the caller's lane. No-op while disabled.
+//
+//pmwcas:hotpath — incremented on every PMwCAS install and read; a heap allocation here taxes every operation
 func (c *Counter) Add(s Stripe, n uint64) {
 	if enabled.Load() {
 		c.v[s.i].n.Add(n)
@@ -156,6 +158,8 @@ func bucketOf(v uint64) int {
 }
 
 // Observe records one value on the caller's lane. No-op while disabled.
+//
+//pmwcas:hotpath — records per-operation latencies on the install and read paths
 func (h *Histogram) Observe(s Stripe, v int64) {
 	if !enabled.Load() {
 		return

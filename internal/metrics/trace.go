@@ -157,6 +157,8 @@ func DefaultTrace() *TraceRing { return defTrace }
 // Record appends one event. No-op unless both metrics and tracing are
 // enabled. Lock-free: one atomic add claims the slot, atomics fill it,
 // one store publishes.
+//
+//pmwcas:hotpath — traces every descriptor lifecycle transition; runs inside install and help paths
 func (r *TraceRing) Record(k TraceKind, desc uint64, actor Stripe, aux uint64) {
 	if !traceOn.Load() || !enabled.Load() {
 		return

@@ -117,6 +117,7 @@ func (d *Device) SetHook(h Hook) {
 
 func (d *Device) callHook(op string, off Offset) {
 	if h := d.hook.Load(); h != nil {
+		//lint:allow hotpath — fault-injection hook, nil outside tests; hook bodies are test code and may allocate (§6.3)
 		(*h)(op, off)
 	}
 }
@@ -203,6 +204,7 @@ func (d *Device) Load(off Offset) uint64 {
 	d.stats.loads.Add(1)
 	i := d.index(off)
 	v := atomic.LoadUint64(&d.words[i])
+	//lint:allow hotpath — psan shadow bookkeeping; disarmed (mask==0 early return) outside diagnostics runs, so its allocations never tax production fast paths (§6.3)
 	d.shadowLoad(i, v)
 	return v
 }
@@ -240,6 +242,7 @@ func (d *Device) Store(off Offset, val uint64) {
 	i := d.index(off)
 	atomic.StoreUint64(&d.words[i], val)
 	atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+	//lint:allow hotpath — psan shadow bookkeeping; disarmed (mask==0 early return) outside diagnostics runs, so its allocations never tax production fast paths (§6.3)
 	d.shadowStore(i, val)
 	d.maybeEvict()
 }
@@ -255,6 +258,7 @@ func (d *Device) CAS(off Offset, old, new uint64) bool {
 	ok := atomic.CompareAndSwapUint64(&d.words[i], old, new)
 	if ok {
 		atomic.StoreUint32(&d.dirty[i/LineWords], 1)
+		//lint:allow hotpath — psan shadow bookkeeping; disarmed (mask==0 early return) outside diagnostics runs, so its allocations never tax production fast paths (§6.3)
 		d.shadowStore(i, new)
 		d.maybeEvict()
 	}
@@ -284,6 +288,7 @@ func (d *Device) flushLine(line uint64) {
 	for i := base; i < base+LineWords; i++ {
 		atomic.StoreUint64(&d.persisted[i], atomic.LoadUint64(&d.words[i]))
 	}
+	//lint:allow hotpath — psan shadow bookkeeping; disarmed (mask==0 early return) outside diagnostics runs, so its allocations never tax production fast paths (§6.3)
 	d.shadowFlushLine(line)
 }
 
@@ -293,6 +298,7 @@ func (d *Device) flushLine(line uint64) {
 // implementation would.
 func (d *Device) Fence() {
 	d.stats.fences.Add(1)
+	//lint:allow hotpath — psan shadow bookkeeping; disarmed (mask==0 early return) outside diagnostics runs, so its allocations never tax production fast paths (§6.3)
 	d.shadowFence()
 }
 
@@ -305,6 +311,7 @@ func (d *Device) maybeEvict() {
 	if d.evictCnt.Add(1)%uint64(d.evictEvery) != 0 {
 		return
 	}
+	//lint:allow nonblock — guards one RNG draw for the eviction simulator; bounded, no I/O (§6.3)
 	d.evictMu.Lock()
 	line := uint64(d.evictRng.Intn(len(d.dirty)))
 	d.evictMu.Unlock()

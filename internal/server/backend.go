@@ -126,18 +126,29 @@ func newShardBackends(o indexOpener, index Index, n int) ([]backend, error) {
 // blobBackend adapts a blobkv handle.
 type blobBackend struct {
 	h *pmwcas.BlobKVHandle
+	// buf is Get's reusable value scratch. A connection handles one
+	// request at a time and encodes the response before the next read,
+	// so the returned value may alias it.
+	buf []byte
 }
 
+//pmwcas:hotpath — server PUT against the blob backend; record staging reuses the handle's slot
 func (b *blobBackend) Put(key, val []byte) error { return b.h.Put(key, val) }
 
+//pmwcas:hotpath — server GET against the blob backend; the record copy lands in the connection's scratch
 func (b *blobBackend) Get(key []byte) ([]byte, error) {
-	v, err := b.h.Get(key)
+	v, err := b.h.GetAppend(key, b.buf[:0])
 	if errors.Is(err, pmwcas.ErrBlobNotFound) {
 		return nil, errNotFound
 	}
-	return v, err
+	if err != nil {
+		return nil, err
+	}
+	b.buf = v
+	return v, nil
 }
 
+//pmwcas:hotpath — server DELETE against the blob backend
 func (b *blobBackend) Delete(key []byte) error {
 	if err := b.h.Delete(key); err != nil {
 		return errNotFound
@@ -168,15 +179,18 @@ func (b *blobBackend) Scan(from, end []byte, limit int, fn func(key, val []byte)
 // keycodec.MaxLen bytes but keeps every mutation a single index write.
 type bwtreeBackend struct {
 	h *pmwcas.BwTreeHandle
+	// buf is Get's reusable decode scratch (see blobBackend.buf).
+	buf []byte
 }
 
+//pmwcas:hotpath — server PUT against the Bw-tree backend: codec pack plus one index upsert loop
 func (b *bwtreeBackend) Put(key, val []byte) error {
 	k, err := keycodec.Encode(key)
 	if err != nil {
 		return err
 	}
 	if len(val) > keycodec.MaxLen {
-		return fmt.Errorf("%w: %d bytes (bwtree max %d)", errValueTooLarge, len(val), keycodec.MaxLen)
+		return errValueTooLarge
 	}
 	v, err := keycodec.Encode(val)
 	if err != nil {
@@ -196,6 +210,7 @@ func (b *bwtreeBackend) Put(key, val []byte) error {
 	}
 }
 
+//pmwcas:hotpath — server GET against the Bw-tree backend; the value decodes into the connection's scratch
 func (b *bwtreeBackend) Get(key []byte) ([]byte, error) {
 	k, err := keycodec.Encode(key)
 	if err != nil {
@@ -208,9 +223,15 @@ func (b *bwtreeBackend) Get(key []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return keycodec.Decode(v)
+	out, err := keycodec.AppendDecode(b.buf[:0], v)
+	if err != nil {
+		return nil, err
+	}
+	b.buf = out
+	return out, nil
 }
 
+//pmwcas:hotpath — server DELETE against the Bw-tree backend
 func (b *bwtreeBackend) Delete(key []byte) error {
 	k, err := keycodec.Encode(key)
 	if err != nil {
@@ -264,15 +285,18 @@ func (b *bwtreeBackend) Scan(from, end []byte, limit int, fn func(key, val []byt
 // bounded at keycodec.MaxLen bytes — but point operations only.
 type hashBackend struct {
 	h *pmwcas.HashTableHandle
+	// buf is Get's reusable decode scratch (see blobBackend.buf).
+	buf []byte
 }
 
+//pmwcas:hotpath — server PUT against the hash backend: codec pack plus one upsert
 func (b *hashBackend) Put(key, val []byte) error {
 	k, err := keycodec.Encode(key)
 	if err != nil {
 		return err
 	}
 	if len(val) > keycodec.MaxLen {
-		return fmt.Errorf("%w: %d bytes (hash max %d)", errValueTooLarge, len(val), keycodec.MaxLen)
+		return errValueTooLarge
 	}
 	v, err := keycodec.Encode(val)
 	if err != nil {
@@ -281,6 +305,7 @@ func (b *hashBackend) Put(key, val []byte) error {
 	return b.h.Upsert(k, v)
 }
 
+//pmwcas:hotpath — server GET against the hash backend; the value decodes into the connection's scratch
 func (b *hashBackend) Get(key []byte) ([]byte, error) {
 	k, err := keycodec.Encode(key)
 	if err != nil {
@@ -293,9 +318,15 @@ func (b *hashBackend) Get(key []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return keycodec.Decode(v)
+	out, err := keycodec.AppendDecode(b.buf[:0], v)
+	if err != nil {
+		return nil, err
+	}
+	b.buf = out
+	return out, nil
 }
 
+//pmwcas:hotpath — server DELETE against the hash backend
 func (b *hashBackend) Delete(key []byte) error {
 	k, err := keycodec.Encode(key)
 	if err != nil {

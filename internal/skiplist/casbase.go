@@ -162,6 +162,8 @@ func (l *CASList) fixPrev(level int, pred, succ nvram.Offset) {
 }
 
 // Insert adds key/value using only single-word CAS.
+//
+//pmwcas:hotpath — CAS-skiplist point insert; the paper's per-op cost model admits descriptor traffic only, no heap garbage
 func (h *CASHandle) Insert(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -247,6 +249,8 @@ func (h *CASHandle) Insert(key, value uint64) error {
 }
 
 // Get returns the value stored under key.
+//
+//pmwcas:hotpath — CAS-skiplist point lookup; the paper's per-op cost model admits descriptor traffic only, no heap garbage
 func (h *CASHandle) Get(key uint64) (uint64, error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
@@ -271,6 +275,8 @@ func (h *CASHandle) Contains(key uint64) bool {
 }
 
 // Update replaces the value under key (plain CAS loop on the value word).
+//
+//pmwcas:hotpath — CAS-skiplist point update; the paper's per-op cost model admits descriptor traffic only, no heap garbage
 func (h *CASHandle) Update(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -300,6 +306,8 @@ func (h *CASHandle) Update(key, value uint64) error {
 // logically mark the next pointer, then physically unlink via casFind's
 // helping — followed by epoch-deferred reclamation once every level is
 // confirmed unlinked.
+//
+//pmwcas:hotpath — CAS-skiplist point delete; the paper's per-op cost model admits descriptor traffic only, no heap garbage
 func (h *CASHandle) Delete(key uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -349,16 +357,25 @@ func (h *CASHandle) Delete(key uint64) error {
 
 	// Reclaim once no traversal can hold the node. Unlike the PMwCAS
 	// list, nothing else advances the epoch clock here, so deletion pays
-	// for its own reclamation pacing.
-	l.mgr.Defer(func() { _ = l.alloc.Free(node) })
+	// for its own reclamation pacing. DeferRetire records the list (an
+	// existing interface value) plus the offset instead of heap-allocating
+	// a capturing closure per delete.
+	l.mgr.DeferRetire(l, uint64(node), 0)
 	l.mgr.Advance()
 	if l.defers.Add(1)%32 == 0 {
+		//lint:allow hotpath — amortized epoch sweep, 1 in 32 deletes; the sweep's finalizers are off the per-op cost model (§6.3)
 		l.mgr.Collect()
 	}
 	return nil
 }
 
-// Scan visits keys in [from, to] ascending.
+// Retire implements epoch.Retiree: it frees a logically deleted node
+// once its epoch expires. The method form keeps deferred reclamation
+// closure-free (see epoch.DeferRetire).
+func (l *CASList) Retire(off, _ uint64) { _ = l.alloc.Free(nvram.Offset(off)) }
+
+// Scan visits keys in [from, to] ascending. fn runs under the scan's
+// epoch guard and must not block.
 func (h *CASHandle) Scan(from, to uint64, fn func(Entry) bool) error {
 	if err := checkKey(from); err != nil {
 		return err
@@ -374,6 +391,7 @@ func (h *CASHandle) Scan(from, to uint64, fn func(Entry) bool) error {
 		}
 		next := l.dev.Load(cur + linkOff(0, false))
 		if next&DeletedMask == 0 { // skip logically deleted nodes
+			//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 			if !fn(Entry{Key: k, Value: l.dev.Load(cur + nodeValueOff)}) {
 				return nil
 			}
@@ -383,7 +401,8 @@ func (h *CASHandle) Scan(from, to uint64, fn func(Entry) bool) error {
 	return nil
 }
 
-// ScanReverse visits keys in [from, to] descending. This is where the
+// ScanReverse visits keys in [from, to] descending; fn runs under the
+// scan's epoch guard and must not block. This is where the
 // baseline pays: every prev hop must be validated against the forward
 // list and repaired by a fresh search when stale.
 func (h *CASHandle) ScanReverse(from, to uint64, fn func(Entry) bool) error {
@@ -422,6 +441,7 @@ func (h *CASHandle) ScanReverse(from, to uint64, fn func(Entry) bool) error {
 			return nil
 		}
 		if k <= to {
+			//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 			if !fn(Entry{Key: k, Value: l.dev.Load(prev + nodeValueOff)}) {
 				return nil
 			}

@@ -12,6 +12,8 @@ import (
 // durable-on-read per the PMwCAS protocol) the moment the base-level
 // PMwCAS commits; taller towers are then linked level by level, each with
 // its own PMwCAS, exactly as §6.1 describes.
+//
+//pmwcas:hotpath — PMwCAS-skiplist point insert; allocation-free up to amortized SMO work, pinned by the -benchmem gate
 func (h *Handle) Insert(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -114,12 +116,19 @@ func (h *Handle) promote(node nvram.Offset, key uint64, level int) bool {
 			return false
 		}
 		pred, succ := r.preds[level], r.succs[level]
-		fail := errors.Join(
-			d.AddWord(pred+linkOff(level, false), succ, node),
-			d.AddWord(succ+linkOff(level, true), pred, node),
-			d.AddWord(node+linkOff(level, false), 0, succ),
-			d.AddWord(node+linkOff(level, true), 0, pred),
-		)
+		// Sequential short-circuit instead of errors.Join: Join allocates
+		// its variadic slice on every promote, and a failed AddWord leads
+		// to Discard either way — the first error is the only one acted on.
+		fail := d.AddWord(pred+linkOff(level, false), succ, node)
+		if fail == nil {
+			fail = d.AddWord(succ+linkOff(level, true), pred, node)
+		}
+		if fail == nil {
+			fail = d.AddWord(node+linkOff(level, false), 0, succ)
+		}
+		if fail == nil {
+			fail = d.AddWord(node+linkOff(level, true), 0, pred)
+		}
 		if fail != nil {
 			d.Discard()
 			return false
@@ -131,6 +140,8 @@ func (h *Handle) promote(node nvram.Offset, key uint64, level int) bool {
 }
 
 // Get returns the value stored under key.
+//
+//pmwcas:hotpath — PMwCAS-skiplist point lookup; allocation-free up to amortized SMO work, pinned by the -benchmem gate
 func (h *Handle) Get(key uint64) (uint64, error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
@@ -154,6 +165,8 @@ func (h *Handle) Contains(key uint64) bool {
 // Update replaces the value stored under key. The single-word update is
 // guarded by a compare entry on the node's base next word, so an update
 // can never land on a node that a concurrent Delete has already removed.
+//
+//pmwcas:hotpath — PMwCAS-skiplist point update; allocation-free up to amortized SMO work, pinned by the -benchmem gate
 func (h *Handle) Update(key, value uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -192,10 +205,10 @@ func (h *Handle) update(key, value uint64) error {
 		if err != nil {
 			return err
 		}
-		fail := errors.Join(
-			d.AddWord(r.found+nodeValueOff, old, value),
-			d.AddWord(r.found+linkOff(0, false), next, next), // liveness guard
-		)
+		fail := d.AddWord(r.found+nodeValueOff, old, value)
+		if fail == nil {
+			fail = d.AddWord(r.found+linkOff(0, false), next, next) // liveness guard
+		}
 		if fail != nil {
 			d.Discard()
 			return fail
@@ -275,10 +288,10 @@ func (h *Handle) compareUpdate(key, expect, value uint64, policy core.Policy) er
 		if err != nil {
 			return err
 		}
-		fail := errors.Join(
-			d.AddWordWithPolicy(r.found+nodeValueOff, expect, value, policy),
-			d.AddWord(r.found+linkOff(0, false), next, next), // liveness guard
-		)
+		fail := d.AddWordWithPolicy(r.found+nodeValueOff, expect, value, policy)
+		if fail == nil {
+			fail = d.AddWord(r.found+linkOff(0, false), next, next) // liveness guard
+		}
 		if fail != nil {
 			d.Discard()
 			return fail
@@ -327,6 +340,8 @@ func (h *Handle) deleteOuter(key uint64, policy core.Policy) (uint64, error) {
 // asserts/seals every upper level dead, so the node's memory (released by
 // the base PMwCAS's FreeOldOnSuccess policy) can never be reachable from
 // any level.
+//
+//pmwcas:hotpath — PMwCAS-skiplist point delete; allocation-free up to amortized SMO work, pinned by the -benchmem gate
 func (h *Handle) Delete(key uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
@@ -409,11 +424,13 @@ func (h *Handle) unlinkLevel(node nvram.Offset, key uint64, level int) error {
 		if err != nil {
 			return err
 		}
-		fail := errors.Join(
-			d.AddWord(node+linkOff(level, false), succ, succ|DeletedMask),
-			d.AddWord(pred+linkOff(level, false), node, succ),
-			d.AddWord(succ+linkOff(level, true), node, pred),
-		)
+		fail := d.AddWord(node+linkOff(level, false), succ, succ|DeletedMask)
+		if fail == nil {
+			fail = d.AddWord(pred+linkOff(level, false), node, succ)
+		}
+		if fail == nil {
+			fail = d.AddWord(succ+linkOff(level, true), node, pred)
+		}
 		if fail != nil {
 			d.Discard()
 			return nil
@@ -454,11 +471,13 @@ func (h *Handle) unlinkBase(node nvram.Offset, key uint64, height int, pinValue 
 	if err != nil {
 		return 0, 0, err
 	}
-	fail := errors.Join(
-		d.AddWordWithPolicy(pred+linkOff(0, false), node, succ, core.PolicyFreeOldOnSuccess),
-		d.AddWord(succ+linkOff(0, true), node, pred),
-		d.AddWord(node+linkOff(0, false), succ, succ|DeletedMask),
-	)
+	fail := d.AddWordWithPolicy(pred+linkOff(0, false), node, succ, core.PolicyFreeOldOnSuccess)
+	if fail == nil {
+		fail = d.AddWord(succ+linkOff(0, true), node, pred)
+	}
+	if fail == nil {
+		fail = d.AddWord(node+linkOff(0, false), succ, succ|DeletedMask)
+	}
 	if fail != nil {
 		d.Discard()
 		return unlinkRetry, 0, nil

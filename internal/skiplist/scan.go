@@ -18,7 +18,8 @@ type Entry struct {
 // Scan visits keys in [from, to] in ascending order, calling fn for each;
 // fn returning false stops the scan. Concurrent mutations may or may not
 // be observed, but every visited entry was present at the moment it was
-// read (the list is consistent at every instant).
+// read (the list is consistent at every instant). fn runs under the
+// scan's epoch guard and must not block or retain the Entry.
 func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
 	if err := checkKey(from); err != nil {
 		return err
@@ -43,6 +44,7 @@ func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
 		// A node deleted mid-visit still carries a valid snapshot; yield
 		// it (it was present when we reached it) and continue through its
 		// stable next pointer.
+		//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 		if !fn(Entry{Key: k, Value: v}) {
 			return nil
 		}
@@ -52,7 +54,8 @@ func (h *Handle) Scan(from, to uint64, fn func(Entry) bool) error {
 }
 
 // ScanReverse visits keys in [from, to] in descending order starting at
-// to, calling fn for each; fn returning false stops the scan.
+// to, calling fn for each; fn returning false stops the scan. fn runs
+// under the scan's epoch guard and must not block.
 func (h *Handle) ScanReverse(from, to uint64, fn func(Entry) bool) error {
 	if err := checkKey(from); err != nil {
 		return err
@@ -81,6 +84,7 @@ func (h *Handle) ScanReverse(from, to uint64, fn func(Entry) bool) error {
 		}
 		if k <= to { // a racing insert may have slid a larger key in
 			v := h.read(cur + nodeValueOff)
+			//lint:allow nonblock — user visitor runs under the scan guard by documented contract; it must not block (§6.3)
 			if !fn(Entry{Key: k, Value: v}) {
 				return nil
 			}

@@ -371,10 +371,12 @@ restart:
 	return r
 }
 
-// checkKey validates a user key.
+// checkKey validates a user key. It returns the bare sentinel: the %#x
+// wrapping it once carried cost an Errorf allocation on every point op,
+// and callers match with errors.Is, never the message.
 func checkKey(key uint64) error {
 	if key == 0 || key >= MaxKey {
-		return fmt.Errorf("%w: %#x", ErrKeyRange, key)
+		return ErrKeyRange
 	}
 	return nil
 }
@@ -382,7 +384,7 @@ func checkKey(key uint64) error {
 // checkValue validates a user value (bits 60..63 are reserved).
 func checkValue(v uint64) error {
 	if v&(core.FlagsMask|DeletedMask) != 0 {
-		return fmt.Errorf("%w: %#x", ErrValueRange, v)
+		return ErrValueRange
 	}
 	return nil
 }

@@ -163,6 +163,8 @@ var (
 )
 
 // AppendRequest appends r's encoded body (no length prefix) to dst.
+//
+//pmwcas:hotpath — request encode; a pipelining client reuses one buffer per connection, so steady-state encoding must not tax the GC
 func AppendRequest(dst []byte, r *Request) []byte {
 	dst = append(dst, byte(r.Op))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Key)))
@@ -177,6 +179,8 @@ func AppendRequest(dst []byte, r *Request) []byte {
 
 // DecodeRequest parses a request body (no length prefix). The returned
 // slices alias body.
+//
+//pmwcas:hotpath — per-frame server decode; slices alias the frame buffer and errors are bare sentinels, so a request costs zero heap
 func DecodeRequest(body []byte) (Request, error) {
 	var r Request
 	c := cursor{buf: body}
@@ -185,7 +189,7 @@ func DecodeRequest(body []byte) (Request, error) {
 		return r, err
 	}
 	if op == 0 || Op(op) >= opMax {
-		return r, fmt.Errorf("%w: %d", ErrUnknownOp, op)
+		return r, ErrUnknownOp
 	}
 	r.Op = Op(op)
 	if r.Key, err = c.bytes16(); err != nil {
@@ -207,6 +211,8 @@ func DecodeRequest(body []byte) (Request, error) {
 }
 
 // AppendResponse appends r's encoded body (no length prefix) to dst.
+//
+//pmwcas:hotpath — per-frame server reply encode into the connection's reused buffer
 func AppendResponse(dst []byte, r *Response) []byte {
 	dst = append(dst, byte(r.Status))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Msg)))
@@ -223,8 +229,20 @@ func AppendResponse(dst []byte, r *Response) []byte {
 }
 
 // DecodeResponse parses a response body (no length prefix). The returned
-// slices alias body.
+// slices alias body. It allocates a fresh Entries slice per call; loops
+// that decode many responses should hold a scratch slice and use
+// DecodeResponseInto.
 func DecodeResponse(body []byte) (Response, error) {
+	return DecodeResponseInto(body, nil)
+}
+
+// DecodeResponseInto is DecodeResponse with caller-owned entry scratch:
+// entries is overwritten and reused when its capacity suffices, and the
+// returned Response aliases it. The caller must not touch entries (or
+// the previous response) until it is done with the new one.
+//
+//pmwcas:hotpath — per-frame client decode; entry scratch and aliased slices keep a pipelined drain loop off the heap
+func DecodeResponseInto(body []byte, entries []Entry) (Response, error) {
 	var r Response
 	c := cursor{buf: body}
 	st, err := c.u8()
@@ -232,14 +250,17 @@ func DecodeResponse(body []byte) (Response, error) {
 		return r, err
 	}
 	if st == 0 || Status(st) >= statusMax {
-		return r, fmt.Errorf("%w: %d", ErrUnknownStatus, st)
+		return r, ErrUnknownStatus
 	}
 	r.Status = Status(st)
 	msg, err := c.bytes16()
 	if err != nil {
 		return r, err
 	}
-	r.Msg = string(msg)
+	if len(msg) > 0 {
+		//lint:allow hotpath — Msg accompanies non-OK statuses only; the OK fast path carries an empty msg and never reaches this conversion (§6.3)
+		r.Msg = string(msg)
+	}
 	n, err := c.u32()
 	if err != nil {
 		return r, err
@@ -247,18 +268,22 @@ func DecodeResponse(body []byte) (Response, error) {
 	// Each entry costs at least 6 bytes on the wire; a count that cannot
 	// possibly fit the remaining body is rejected before allocating.
 	if uint64(n)*6 > uint64(len(c.buf)-c.off) {
-		return r, fmt.Errorf("%w: %d entries in %d bytes", ErrTruncated, n, len(c.buf)-c.off)
+		return r, ErrTruncated
 	}
 	if n > 0 {
-		r.Entries = make([]Entry, n)
-		for i := range r.Entries {
-			if r.Entries[i].Key, err = c.bytes16(); err != nil {
+		if cap(entries) < int(n) {
+			entries = make([]Entry, int(n))
+		}
+		entries = entries[:n]
+		for i := range entries {
+			if entries[i].Key, err = c.bytes16(); err != nil {
 				return r, err
 			}
-			if r.Entries[i].Value, err = c.bytes32(); err != nil {
+			if entries[i].Value, err = c.bytes32(); err != nil {
 				return r, err
 			}
 		}
+		r.Entries = entries
 	}
 	if err := c.done(); err != nil {
 		return r, err
@@ -294,7 +319,7 @@ func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return nil, ErrFrameTooLarge
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
@@ -373,7 +398,7 @@ func (c *cursor) bytes32() ([]byte, error) {
 
 func (c *cursor) done() error {
 	if c.off != len(c.buf) {
-		return fmt.Errorf("%w: %d of %d consumed", ErrTrailingBytes, c.off, len(c.buf))
+		return ErrTrailingBytes
 	}
 	return nil
 }

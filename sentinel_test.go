@@ -1,0 +1,73 @@
+package pmwcas
+
+import (
+	"bytes"
+	"testing"
+
+	"pmwcas/internal/core"
+	"pmwcas/internal/keycodec"
+	"pmwcas/internal/wire"
+)
+
+// These tests pin the bare-sentinel contract on the fast paths: every
+// rejection a point op can produce must be returned as the sentinel
+// value itself, not wrapped through fmt.Errorf. Wrapping still passes
+// errors.Is, so errors.Is-based tests would not catch a re-wrap — these
+// compare with == on purpose. The hotpath analyzer (DESIGN.md §6.3)
+// rejects the Errorf call site statically; this is the runtime half of
+// the same guarantee.
+
+func TestWireSentinelsAreBare(t *testing.T) {
+	if _, err := wire.DecodeRequest([]byte{0xee}); err != wire.ErrUnknownOp {
+		t.Fatalf("unknown op: got %v, want bare wire.ErrUnknownOp", err)
+	}
+	if _, err := wire.DecodeRequest(nil); err != wire.ErrTruncated {
+		t.Fatalf("empty body: got %v, want bare wire.ErrTruncated", err)
+	}
+	body := wire.AppendRequest(nil, &wire.Request{Op: wire.OpGet, Key: []byte("k")})
+	if _, err := wire.DecodeRequest(append(body, 0)); err != wire.ErrTrailingBytes {
+		t.Fatalf("trailing byte: got %v, want bare wire.ErrTrailingBytes", err)
+	}
+	if _, err := wire.DecodeResponse([]byte{0xee}); err != wire.ErrUnknownStatus {
+		t.Fatalf("unknown status: got %v, want bare wire.ErrUnknownStatus", err)
+	}
+}
+
+func TestKeycodecSentinelsAreBare(t *testing.T) {
+	if _, err := keycodec.Encode(bytes.Repeat([]byte{'x'}, keycodec.MaxLen+1)); err != keycodec.ErrTooLong {
+		t.Fatalf("oversize key: got %v, want bare keycodec.ErrTooLong", err)
+	}
+}
+
+func TestDescriptorSentinelsAreBare(t *testing.T) {
+	store, err := Create(testConfig())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer store.Close()
+	h := store.PMwCASHandle()
+	a := store.RootWord(0)
+
+	d, err := h.AllocateDescriptor(0)
+	if err != nil {
+		t.Fatalf("AllocateDescriptor: %v", err)
+	}
+	if err := d.AddWord(a, 0, 1); err != nil {
+		t.Fatalf("AddWord: %v", err)
+	}
+	if err := d.AddWord(a, 0, 2); err != core.ErrDuplicateAddress {
+		t.Fatalf("duplicate address: got %v, want bare core.ErrDuplicateAddress", err)
+	}
+	if err := d.AddWord(a+1, 0, 1); err != core.ErrBadAddress {
+		t.Fatalf("misaligned address: got %v, want bare core.ErrBadAddress", err)
+	}
+	d.Discard()
+
+	d2, err := h.AllocateDescriptor(0)
+	if err != nil {
+		t.Fatalf("AllocateDescriptor: %v", err)
+	}
+	if _, err := d2.Execute(); err != core.ErrEmptyDescriptor {
+		t.Fatalf("empty execute: got %v, want bare core.ErrEmptyDescriptor", err)
+	}
+}
